@@ -1,0 +1,1 @@
+bench/calibrate.ml: Bigint Cost_model Format Group_intf Ppgr_bigint Ppgr_dotprod Ppgr_group Ppgr_grouprank Unix

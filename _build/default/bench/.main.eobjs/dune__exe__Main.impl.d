@@ -1,0 +1,1 @@
+bench/main.ml: Array Calibrate Figures Format List Micro Ppgr_group Ppgr_rng Printf Sys Unix

@@ -1,0 +1,55 @@
+(* Wall-clock calibration of the primitive operations the cost models
+   scale by: seconds per group multiplication, multiplications per full
+   exponentiation, seconds per field multiplication. *)
+
+open Ppgr_bigint
+open Ppgr_group
+open Ppgr_grouprank
+
+type group_cal = {
+  g_name : string;
+  security_bits : int;
+  sec_per_mult : float;
+  mpe : float; (* group multiplications per full exponentiation *)
+  elem_bytes : int;
+  scalar_bytes : int;
+}
+
+let time_per_call ?(min_time = 0.2) f =
+  (* Run [f] in growing batches until [min_time] elapses. *)
+  let rec go batch =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_time then dt /. float_of_int batch else go (batch * 4)
+  in
+  go 16
+
+let group (g : Group_intf.group) rng : group_cal =
+  let module G = (val g) in
+  let a = G.pow_gen (G.random_scalar rng) in
+  let b = G.pow_gen (G.random_scalar rng) in
+  let acc = ref a in
+  let sec_per_mult = time_per_call (fun () -> acc := G.mul !acc b) in
+  let mpe = Cost_model.He_model.measure_mpe g ~samples:30 rng in
+  {
+    g_name = G.name;
+    security_bits = G.security_bits;
+    sec_per_mult;
+    mpe;
+    elem_bytes = G.element_bytes;
+    scalar_bytes = (Bigint.numbits G.order + 7) / 8;
+  }
+
+let field_sec_per_mult rng =
+  let f = Ppgr_dotprod.Zfield.default () in
+  let a = Ppgr_dotprod.Zfield.random rng f in
+  let b = Ppgr_dotprod.Zfield.random rng f in
+  let acc = ref a in
+  time_per_call (fun () -> acc := Ppgr_dotprod.Zfield.mul f !acc b)
+
+let pp_group_cal fmt c =
+  Format.fprintf fmt "%-10s  %3d-bit sec  %10.3g s/mult  %7.1f mult/exp  %8.3g s/exp"
+    c.g_name c.security_bits c.sec_per_mult c.mpe (c.sec_per_mult *. c.mpe)

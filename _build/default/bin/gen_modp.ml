@@ -1,0 +1,138 @@
+(* Regenerates the MODP group moduli (RFC 2412 / RFC 3526 construction):
+
+     p = 2^n - 2^(n-64) - 1 + 2^64 * (floor(2^(n-130) * pi) + c)
+
+   where [c] is the smallest non-negative integer making [p] a safe prime.
+   Running with [--bits n] reproduces the published constant for that size
+   (the RFCs picked the smallest such [c] too), so this tool both validates
+   the constants vendored in [Modp_params] and produced the 3072-bit one.
+
+   pi is computed to the needed precision with Machin's formula
+   pi = 16 arctan(1/5) - 4 arctan(1/239) in fixed point. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+
+(* Fixed-point arctan(1/x) * 2^prec via the alternating power series. *)
+let arctan_inv ~prec x =
+  let open Bigint in
+  let scale = nth_bit_weight prec in
+  let x2 = of_int (x * x) in
+  let rec go term k acc sign =
+    if is_zero term then acc
+    else begin
+      let contrib = div term (of_int ((2 * k) + 1)) in
+      let acc = if sign then add acc contrib else sub acc contrib in
+      go (div term x2) (k + 1) acc (not sign)
+    end
+  in
+  go (div scale (of_int x)) 0 zero true
+
+let pi_fixed ~prec =
+  let open Bigint in
+  (* Extra guard bits against truncation error accumulation. *)
+  let gp = prec + 64 in
+  let a = arctan_inv ~prec:gp 5 in
+  let b = arctan_inv ~prec:gp 239 in
+  shift_right (sub (mul_int a 16) (mul_int b 4)) 64
+
+(* Incremental small-prime sieve on p(c) = p0 + c * 2^64 and
+   q(c) = (p(c) - 1) / 2: per prime sp we track p0 mod sp and step by
+   2^64 mod sp, so scanning millions of candidates is cheap. *)
+let find_c ~bits ~progress =
+  let open Bigint in
+  let pi = pi_fixed ~prec:(bits - 130 + 64) in
+  let mid = shift_right pi 64 in
+  (* floor(2^(bits-130) * pi): pi_fixed at prec gives pi * 2^prec. *)
+  let p0 =
+    add
+      (sub (sub (nth_bit_weight bits) (nth_bit_weight (bits - 64))) one)
+      (shift_left mid 64)
+  in
+  let two64 = nth_bit_weight 64 in
+  (* Sieve primes up to a bound tuned to keep Miller-Rabin calls rare. *)
+  let bound = 200_000 in
+  let sieve = Array.make (bound + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to bound do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j <= bound do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  let primes = ref [] in
+  for i = bound downto 3 do
+    if sieve.(i) then primes := i :: !primes
+  done;
+  let primes = Array.of_list !primes in
+  let np = Array.length primes in
+  let p_res = Array.make np 0 in
+  let step = Array.make np 0 in
+  let inv2 = Array.make np 0 in
+  for i = 0 to np - 1 do
+    let sp = primes.(i) in
+    p_res.(i) <- to_int_exn (erem p0 (of_int sp));
+    step.(i) <- to_int_exn (erem two64 (of_int sp));
+    inv2.(i) <- (sp + 1) / 2
+  done;
+  let rng = Rng.create ~seed:"gen-modp" in
+  let rand = Rng.as_prime_rand rng in
+  let mr_calls = ref 0 in
+  let rec search c =
+    if c mod 100_000 = 0 && c > 0 then progress c !mr_calls;
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < np do
+      let sp = primes.(!i) in
+      let pr = (p_res.(!i) + (c mod sp * step.(!i))) mod sp in
+      if pr = 0 then ok := false
+      else begin
+        (* q mod sp = (p - 1)/2 mod sp. *)
+        let qr = (pr - 1 + sp) mod sp * inv2.(!i) mod sp in
+        if qr = 0 then ok := false
+      end;
+      incr i
+    done;
+    if not !ok then search (c + 1)
+    else begin
+      incr mr_calls;
+      let p = add p0 (mul two64 (of_int c)) in
+      let q = shift_right (pred p) 1 in
+      if
+        Prime.is_probable_prime ~rounds:4 rand q
+        && Prime.is_probable_prime ~rounds:4 rand p
+      then (c, p)
+      else search (c + 1)
+    end
+  in
+  search 0
+
+let run bits =
+  let t0 = Unix.gettimeofday () in
+  let progress c mr =
+    Printf.printf "  ... c=%d, %d MR calls, %.0fs\n%!" c mr
+      (Unix.gettimeofday () -. t0)
+  in
+  let c, p = find_c ~bits ~progress in
+  Printf.printf "bits=%d c=%d (%.0fs)\np = 0x%s\n%!" bits c
+    (Unix.gettimeofday () -. t0)
+    (Bigint.to_string_hex p)
+
+let () =
+  let bits = ref [] in
+  let spec =
+    [
+      ( "--bits",
+        Arg.Int (fun b -> bits := b :: !bits),
+        "N generate the N-bit MODP modulus (repeatable)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "gen_modp --bits N [--bits N ...]";
+  let bits = if !bits = [] then [ 1024 ] else List.rev !bits in
+  List.iter run bits

@@ -1,0 +1,170 @@
+(* Command-line driver for the privacy preserving group ranking
+   framework.
+
+   Subcommands:
+     run       run a full ranking on synthetic or file-given inputs
+     simulate  run the framework over the simulated network topology
+     inspect   print group/parameter information
+
+   Examples:
+     grouprank_cli run --group ecc-160 -n 8 -k 3 --seed demo
+     grouprank_cli run --group dl-1024 --spec 6,3,8,4 -n 5 --verbose
+     grouprank_cli simulate -n 20 --nodes 40 --edges 90
+     grouprank_cli inspect --group ecc-256 *)
+
+open Cmdliner
+open Ppgr_grouprank
+
+let group_of_name = function
+  | "dl-1024" -> Ppgr_group.Dl_group.dl_1024 ()
+  | "dl-2048" -> Ppgr_group.Dl_group.dl_2048 ()
+  | "dl-3072" -> Ppgr_group.Dl_group.dl_3072 ()
+  | "dl-test" -> Ppgr_group.Dl_group.dl_test_128 ()
+  | "ecc-160" -> Ppgr_group.Ec_group.ecc_160 ()
+  | "ecc-192" -> Ppgr_group.Ec_group.ecc_192 ()
+  | "ecc-224" -> Ppgr_group.Ec_group.ecc_224 ()
+  | "ecc-256" -> Ppgr_group.Ec_group.ecc_256 ()
+  | "ecc-tiny" -> Ppgr_group.Ec_group.ecc_tiny ()
+  | s -> failwith (Printf.sprintf "unknown group %S (try: dl-1024 ecc-160 ecc-tiny dl-test)" s)
+
+let group_arg =
+  let doc =
+    "Group instantiation: dl-1024, dl-2048, dl-3072, dl-test, ecc-160, \
+     ecc-192, ecc-224, ecc-256, ecc-tiny."
+  in
+  Arg.(value & opt string "ecc-tiny" & info [ "group"; "g" ] ~docv:"GROUP" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 6 & info [ "n" ] ~docv:"N" ~doc:"Number of participants.")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"How many top participants are invited.")
+
+let seed_arg =
+  Arg.(value & opt string "cli" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let spec_arg =
+  let doc =
+    "Attribute spec as m,t,d1,d2: m attributes, the first t of them \
+     \"equal to\", d1-bit values, d2-bit weights."
+  in
+  Arg.(value & opt string "4,2,8,4" & info [ "spec" ] ~docv:"M,T,D1,D2" ~doc)
+
+let h_arg =
+  Arg.(value & opt int 12 & info [ "h" ] ~docv:"H" ~doc:"Bits of the multiplicative gain mask rho.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-phase cost counters.")
+
+let parse_spec s =
+  match String.split_on_char ',' s with
+  | [ m; t; d1; d2 ] ->
+      Attrs.spec ~m:(int_of_string m) ~t:(int_of_string t)
+        ~d1:(int_of_string d1) ~d2:(int_of_string d2)
+  | _ -> failwith "spec must be m,t,d1,d2"
+
+let run_cmd group_name n k seed spec_s h verbose =
+  let rng = Ppgr_rng.Rng.create ~seed in
+  let spec = parse_spec spec_s in
+  let criterion = Attrs.random_criterion rng spec in
+  let infos = Array.init n (fun _ -> Attrs.random_info rng spec) in
+  let cfg = Framework.config ~h ~spec ~k () in
+  let group = group_of_name group_name in
+  let module G = (val group) in
+  Printf.printf "group: %s (order %d bits), participants: %d, k: %d\n" G.name
+    (Ppgr_bigint.Bigint.numbits G.order)
+    n k;
+  let t0 = Unix.gettimeofday () in
+  let out = Framework.run_with_group group rng cfg ~criterion ~infos in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n%-4s %-10s %s\n" "who" "rank" "gain (cleartext, for reference only)";
+  Array.iteri
+    (fun j r ->
+      Printf.printf "P%-3d %-10d %d\n" (j + 1) r
+        (Attrs.gain spec criterion infos.(j)))
+    out.Framework.ranks;
+  Printf.printf "\nsubmissions: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun s -> Printf.sprintf "P%d(rank %d)" (s.Framework.participant + 1) s.Framework.claimed_rank)
+          out.Framework.accepted));
+  if out.Framework.flagged <> [] then
+    Printf.printf "flagged over-claims: %d\n" (List.length out.Framework.flagged);
+  if verbose then begin
+    let c = out.Framework.costs in
+    Printf.printf "\ncosts:\n";
+    Printf.printf "  beta bit-length l: %d\n" c.Framework.beta_bits;
+    Printf.printf "  per-participant group ops: %s\n"
+      (String.concat ", "
+         (Array.to_list (Array.map string_of_int c.Framework.participant_ops)));
+    Printf.printf "  per-participant exponentiations: %s\n"
+      (String.concat ", "
+         (Array.to_list (Array.map string_of_int c.Framework.participant_exps)));
+    Printf.printf "  initiator field mults: %d\n" c.Framework.initiator_field_mults;
+    Printf.printf "  rounds: %d, messages: %d, bytes: %d\n"
+      (List.length c.Framework.schedule)
+      (Cost.total_messages c.Framework.schedule)
+      (Cost.total_bytes c.Framework.schedule)
+  end;
+  Printf.printf "\nwall clock: %.3f s\n" dt
+
+let simulate_cmd group_name n k seed nodes edges =
+  let rng = Ppgr_rng.Rng.create ~seed in
+  let spec = parse_spec "4,2,8,4" in
+  let criterion = Attrs.random_criterion rng spec in
+  let infos = Array.init n (fun _ -> Attrs.random_info rng spec) in
+  let cfg = Framework.config ~h:10 ~spec ~k () in
+  let out = Framework.run_with_group (group_of_name group_name) rng cfg ~criterion ~infos in
+  let open Ppgr_mpcnet in
+  let topo = Topology.random_connected rng ~nodes ~edges () in
+  let placement = Netsim.place_parties topo ~parties:(n + 1) in
+  (* Use a representative per-op cost; the bench harness calibrates this
+     per group. *)
+  let st =
+    Netsim.run topo ~placement
+      (Cost.to_netsim ~seconds_per_op:5e-6 out.Framework.costs.Framework.schedule)
+  in
+  Printf.printf
+    "simulated on %d-node/%d-edge topology: elapsed %.2f s, %d messages, %d bytes, %d rounds\n"
+    nodes edges st.Netsim.elapsed_s st.Netsim.message_count st.Netsim.bytes_sent
+    st.Netsim.rounds
+
+let inspect_cmd group_name =
+  let module G = (val group_of_name group_name) in
+  Printf.printf "name:           %s\n" G.name;
+  Printf.printf "security:       %d-bit symmetric equivalent\n" G.security_bits;
+  Printf.printf "order bits:     %d\n" (Ppgr_bigint.Bigint.numbits G.order);
+  Printf.printf "element bytes:  %d\n" G.element_bytes;
+  Printf.printf "ciphertext S_c: %d bytes\n" (2 * G.element_bytes);
+  Printf.printf "order:          %s\n" (Ppgr_bigint.Bigint.to_string_hex G.order)
+
+let run_term =
+  Term.(
+    const run_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ spec_arg $ h_arg
+    $ verbose_arg)
+
+let nodes_arg =
+  Arg.(value & opt int 80 & info [ "nodes" ] ~docv:"V" ~doc:"Topology nodes.")
+
+let edges_arg =
+  Arg.(value & opt int 320 & info [ "edges" ] ~docv:"E" ~doc:"Topology edges.")
+
+let simulate_term =
+  Term.(const simulate_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ nodes_arg $ edges_arg)
+
+let inspect_term = Term.(const inspect_cmd $ group_arg)
+
+let () =
+  let info_ =
+    Cmd.info "grouprank_cli" ~version:"1.0.0"
+      ~doc:"Privacy preserving group ranking (ICDCS 2012 reproduction)"
+  in
+  let cmds =
+    Cmd.group info_
+      [
+        Cmd.v (Cmd.info "run" ~doc:"Run a ranking end to end") run_term;
+        Cmd.v (Cmd.info "simulate" ~doc:"Run over the simulated network") simulate_term;
+        Cmd.v (Cmd.info "inspect" ~doc:"Print group parameters") inspect_term;
+      ]
+  in
+  exit (Cmd.eval cmds)

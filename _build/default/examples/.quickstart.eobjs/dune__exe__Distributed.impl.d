@@ -1,0 +1,1 @@
+examples/distributed.ml: Array Bigint Ppgr_bigint Ppgr_group Ppgr_grouprank Ppgr_rng Printf Runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attrs Framework List Ppgr_group Ppgr_grouprank Ppgr_rng Printf

@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Array Bytes Format Hashtbl Mag Stdlib String

@@ -1,0 +1,1 @@
+lib/bigint/mag.ml: Array Buffer Bytes Char Printf Stdlib String

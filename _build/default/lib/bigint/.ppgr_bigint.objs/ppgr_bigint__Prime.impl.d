@@ -1,0 +1,1 @@
+lib/bigint/prime.ml: Array Bigint List

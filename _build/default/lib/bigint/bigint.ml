@@ -1,0 +1,509 @@
+(* Signed arbitrary-precision integers: a sign-magnitude wrapper over
+   {!Mag}.  Invariant: [sign = 0] iff the magnitude is empty; otherwise
+   [sign] is [-1] or [1]. *)
+
+type t = { sg : int; mg : int array }
+
+let mul_counter = ref 0
+let mul_count () = !mul_counter
+let reset_counters () = mul_counter := 0
+
+let make sg mg = if Mag.is_zero mg then { sg = 0; mg = Mag.zero } else { sg; mg }
+
+let zero = { sg = 0; mg = Mag.zero }
+let one = { sg = 1; mg = Mag.of_int 1 }
+let two = { sg = 1; mg = Mag.of_int 2 }
+let minus_one = { sg = -1; mg = Mag.of_int 1 }
+
+let of_int v =
+  if v = 0 then zero
+  else if v > 0 then { sg = 1; mg = Mag.of_int v }
+  else { sg = -1; mg = Mag.of_int (-v) }
+
+let to_int_opt v =
+  match Mag.to_int_opt v.mg with
+  | None -> None
+  | Some m -> Some (if v.sg < 0 then -m else m)
+
+let to_int_exn v =
+  match to_int_opt v with
+  | Some i -> i
+  | None -> invalid_arg "Bigint.to_int_exn: out of native range"
+
+let sign v = v.sg
+let is_zero v = v.sg = 0
+
+let compare a b =
+  if a.sg <> b.sg then Stdlib.compare a.sg b.sg
+  else if a.sg >= 0 then Mag.compare a.mg b.mg
+  else Mag.compare b.mg a.mg
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg v = make (-v.sg) v.mg
+let abs v = make (if v.sg = 0 then 0 else 1) v.mg
+
+let add a b =
+  if a.sg = 0 then b
+  else if b.sg = 0 then a
+  else if a.sg = b.sg then make a.sg (Mag.add a.mg b.mg)
+  else begin
+    let c = Mag.compare a.mg b.mg in
+    if c = 0 then zero
+    else if c > 0 then make a.sg (Mag.sub a.mg b.mg)
+    else make b.sg (Mag.sub b.mg a.mg)
+  end
+
+let sub a b = add a (neg b)
+let succ a = add a one
+let pred a = sub a one
+
+let mul a b =
+  incr mul_counter;
+  if a.sg = 0 || b.sg = 0 then zero
+  else make (a.sg * b.sg) (Mag.mul a.mg b.mg)
+
+let add_int a v = add a (of_int v)
+let mul_int a v = mul a (of_int v)
+
+let divmod a b =
+  if b.sg = 0 then raise Division_by_zero;
+  let q, r = Mag.divmod a.mg b.mg in
+  (make (a.sg * b.sg) q, make a.sg r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sg >= 0 then (q, r)
+  else if b.sg > 0 then (pred q, add r b)
+  else (succ q, sub r b)
+
+let erem a b = snd (ediv_rem a b)
+
+let is_even v = Mag.is_zero v.mg || v.mg.(0) land 1 = 0
+let is_odd v = not (is_even v)
+
+let check_nonneg name v = if v.sg < 0 then invalid_arg ("Bigint." ^ name ^ ": negative operand")
+
+let shift_left v n =
+  check_nonneg "shift_left" v;
+  make v.sg (Mag.shift_left v.mg n)
+
+let shift_right v n =
+  check_nonneg "shift_right" v;
+  make v.sg (Mag.shift_right v.mg n)
+
+let logand a b =
+  check_nonneg "logand" a;
+  check_nonneg "logand" b;
+  make 1 (Mag.logand a.mg b.mg)
+
+let logor a b =
+  check_nonneg "logor" a;
+  check_nonneg "logor" b;
+  make 1 (Mag.logor a.mg b.mg)
+
+let logxor a b =
+  check_nonneg "logxor" a;
+  check_nonneg "logxor" b;
+  make 1 (Mag.logxor a.mg b.mg)
+
+let testbit v i =
+  check_nonneg "testbit" v;
+  Mag.testbit v.mg i
+
+let numbits v = Mag.numbits v.mg
+
+let nth_bit_weight k =
+  if k < 0 then invalid_arg "Bigint.nth_bit_weight: negative";
+  make 1 (Mag.shift_left (Mag.of_int 1) k)
+
+let bits_of v ~width =
+  check_nonneg "bits_of" v;
+  Array.init width (fun i -> if Mag.testbit v.mg i then 1 else 0)
+
+let of_bits bits =
+  let acc = ref Mag.zero in
+  for i = Array.length bits - 1 downto 0 do
+    acc := Mag.shift_left !acc 1;
+    if bits.(i) = 1 then acc := Mag.add_int !acc 1
+    else if bits.(i) <> 0 then invalid_arg "Bigint.of_bits: entry not 0/1"
+  done;
+  make 1 !acc
+
+let of_string s =
+  let s, sg = if String.length s > 0 && s.[0] = '-' then (String.sub s 1 (String.length s - 1), -1) else (s, 1) in
+  let mg =
+    if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+      Mag.of_string_hex (String.sub s 2 (String.length s - 2))
+    else Mag.of_string_dec s
+  in
+  make sg mg
+
+let to_string v =
+  if v.sg < 0 then "-" ^ Mag.to_string_dec v.mg else Mag.to_string_dec v.mg
+
+let to_string_hex v =
+  if v.sg < 0 then "-" ^ Mag.to_string_hex v.mg else Mag.to_string_hex v.mg
+
+let of_bytes_be b = make 1 (Mag.of_bytes b)
+
+let to_bytes_be v =
+  check_nonneg "to_bytes_be" v;
+  Mag.to_bytes v.mg
+
+let to_bytes_be_padded len v =
+  let b = to_bytes_be v in
+  let n = Bytes.length b in
+  if n > len then invalid_arg "Bigint.to_bytes_be_padded: too large";
+  let r = Bytes.make len '\000' in
+  Bytes.blit b 0 r (len - n) n;
+  r
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let egcd a b =
+  (* Iterative extended Euclid on the given (possibly negative) values. *)
+  let rec go r0 r1 s0 s1 t0 t1 =
+    if is_zero r1 then (r0, s0, t0)
+    else begin
+      let q, r2 = divmod r0 r1 in
+      go r1 r2 s1 (sub s0 (mul q s1)) t1 (sub t0 (mul q t1))
+    end
+  in
+  let g, u, v = go a b one zero zero one in
+  if g.sg < 0 then (neg g, neg u, neg v) else (g, u, v)
+
+let invmod a m =
+  let m = abs m in
+  let a = erem a m in
+  let g, u, _ = egcd a m in
+  if not (equal g one) then raise Division_by_zero;
+  erem u m
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+(* ---- Montgomery exponentiation for odd moduli. ---- *)
+
+module Mont = struct
+  type ctx = {
+    m : int array; (* modulus magnitude, odd *)
+    w : int; (* limb count of m *)
+    m' : int; (* -m^{-1} mod 2^26 *)
+    r2 : int array; (* R^2 mod m, R = 2^(26w) *)
+    one_m : int array; (* R mod m: Montgomery form of 1 *)
+  }
+
+  (* Inverse of [v] modulo 2^26, for odd v; Newton iteration. *)
+  let inv_limb v =
+    let x = ref v in
+    (* x := x * (2 - v*x) doubles the number of correct bits. *)
+    for _ = 1 to 5 do
+      x := !x * (2 - (v * !x)) land Mag.mask
+    done;
+    !x land Mag.mask
+
+  let create (m : int array) =
+    assert ((not (Mag.is_zero m)) && m.(0) land 1 = 1);
+    let w = Array.length m in
+    let m' = Mag.mask land -inv_limb m.(0) in
+    let r = Mag.shift_left (Mag.of_int 1) (Mag.base_bits * w) in
+    let r2 = Mag.rem (Mag.mul r r) m in
+    let one_m = Mag.rem r m in
+    { m; w; m'; r2; one_m }
+
+  (* Pad a magnitude to exactly [w] limbs. *)
+  let pad ctx a =
+    let la = Array.length a in
+    if la = ctx.w then a
+    else begin
+      let r = Array.make ctx.w 0 in
+      Array.blit a 0 r 0 la;
+      r
+    end
+
+  (* CIOS Montgomery multiplication: result = a * b * R^{-1} mod m.
+     Inputs are w-limb padded arrays; output is w-limb padded. *)
+  let mont_mul ctx (a : int array) (b : int array) =
+    mul_counter := !mul_counter + 1;
+    let w = ctx.w and m = ctx.m and m' = ctx.m' in
+    let t = Array.make (w + 2) 0 in
+    for i = 0 to w - 1 do
+      let ai = a.(i) in
+      let c = ref 0 in
+      for j = 0 to w - 1 do
+        let x = t.(j) + (ai * b.(j)) + !c in
+        t.(j) <- x land Mag.mask;
+        c := x lsr Mag.base_bits
+      done;
+      let x = t.(w) + !c in
+      t.(w) <- x land Mag.mask;
+      t.(w + 1) <- t.(w + 1) + (x lsr Mag.base_bits);
+      let u = t.(0) * m' land Mag.mask in
+      let c = ref ((t.(0) + (u * m.(0))) lsr Mag.base_bits) in
+      for j = 1 to w - 1 do
+        let x = t.(j) + (u * m.(j)) + !c in
+        t.(j - 1) <- x land Mag.mask;
+        c := x lsr Mag.base_bits
+      done;
+      let x = t.(w) + !c in
+      t.(w - 1) <- x land Mag.mask;
+      t.(w) <- t.(w + 1) + (x lsr Mag.base_bits);
+      t.(w + 1) <- 0
+    done;
+    let res = Array.sub t 0 w in
+    (* Conditional final subtraction: the value in res (plus possible
+       overflow limb t.(w)) is < 2m. *)
+    let ge =
+      t.(w) > 0
+      ||
+      let rec cmp i =
+        if i < 0 then true
+        else if res.(i) <> m.(i) then res.(i) > m.(i)
+        else cmp (i - 1)
+      in
+      cmp (w - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to w - 1 do
+        let d = res.(i) - m.(i) - !borrow in
+        if d < 0 then begin
+          res.(i) <- d + Mag.base;
+          borrow := 1
+        end else begin
+          res.(i) <- d;
+          borrow := 0
+        end
+      done
+    end;
+    res
+
+  let to_mont ctx a = mont_mul ctx (pad ctx a) (pad ctx ctx.r2)
+  let from_mont ctx a = Mag.normalize (mont_mul ctx a (pad ctx (Mag.of_int 1)))
+
+  (* Fixed 4-bit window exponentiation in Montgomery form. *)
+  let powmod ctx (b : int array) (e : int array) =
+    if Mag.is_zero e then Mag.of_int 1
+    else begin
+      let bm = to_mont ctx (Mag.rem b ctx.m) in
+      let table = Array.make 16 (pad ctx ctx.one_m) in
+      for i = 1 to 15 do
+        table.(i) <- mont_mul ctx table.(i - 1) bm
+      done;
+      let nb = Mag.numbits e in
+      let nwin = (nb + 3) / 4 in
+      let acc = ref (pad ctx ctx.one_m) in
+      for wi = nwin - 1 downto 0 do
+        for _ = 1 to 4 do
+          acc := mont_mul ctx !acc !acc
+        done;
+        let d =
+          (if Mag.testbit e ((4 * wi) + 3) then 8 else 0)
+          lor (if Mag.testbit e ((4 * wi) + 2) then 4 else 0)
+          lor (if Mag.testbit e ((4 * wi) + 1) then 2 else 0)
+          lor if Mag.testbit e (4 * wi) then 1 else 0
+        in
+        if d > 0 then acc := mont_mul ctx !acc table.(d)
+      done;
+      from_mont ctx !acc
+    end
+end
+
+(* Cache Montgomery contexts per modulus: exponentiations in a protocol
+   run hit the same handful of moduli thousands of times. *)
+let mont_cache : (string, Mont.ctx) Hashtbl.t = Hashtbl.create 8
+
+let mont_ctx_for (m : int array) =
+  let key = Mag.to_string_hex m in
+  match Hashtbl.find_opt mont_cache key with
+  | Some ctx -> ctx
+  | None ->
+      let ctx = Mont.create m in
+      Hashtbl.add mont_cache key ctx;
+      ctx
+
+let powmod_generic b e m =
+  (* Square-and-multiply with explicit reduction; used for even moduli. *)
+  let b = erem b m in
+  let nb = numbits e in
+  let acc = ref one in
+  for i = nb - 1 downto 0 do
+    acc := rem (mul !acc !acc) m;
+    if testbit e i then acc := rem (mul !acc b) m
+  done;
+  !acc
+
+let powmod b e m =
+  if m.sg <= 0 then invalid_arg "Bigint.powmod: modulus must be positive";
+  if e.sg < 0 then invalid_arg "Bigint.powmod: negative exponent";
+  if equal m one then zero
+  else if is_odd m && numbits m > 1 then begin
+    let ctx = mont_ctx_for m.mg in
+    let b = erem b m in
+    make 1 (Mont.powmod ctx b.mg e.mg)
+  end
+  else powmod_generic b e m
+
+let jacobi a n =
+  if n.sg <= 0 || is_even n then invalid_arg "Bigint.jacobi: n must be odd positive";
+  let rec go a n acc =
+    let a = erem a n in
+    if is_zero a then if equal n one then acc else 0
+    else begin
+      (* Pull out factors of two. *)
+      let rec twos a acc =
+        if is_even a then begin
+          let nmod8 = to_int_exn (logand n (of_int 7)) in
+          let acc = if nmod8 = 3 || nmod8 = 5 then -acc else acc in
+          twos (shift_right a 1) acc
+        end
+        else (a, acc)
+      in
+      let a, acc = twos a acc in
+      if equal a one then acc
+      else begin
+        (* Quadratic reciprocity. *)
+        let amod4 = to_int_exn (logand a (of_int 3)) in
+        let nmod4 = to_int_exn (logand n (of_int 3)) in
+        let acc = if amod4 = 3 && nmod4 = 3 then -acc else acc in
+        go n a acc
+      end
+    end
+  in
+  go a n 1
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+module Modring = struct
+  type ctx = { mc : Mont.ctx; m_big : t }
+  type elt = int array (* Montgomery form, padded to ctx width, < m *)
+
+  let ctx ~modulus =
+    if modulus.sg <= 0 || is_even modulus || compare modulus two <= 0 then
+      invalid_arg "Modring.ctx: modulus must be odd and > 2";
+    { mc = mont_ctx_for modulus.mg; m_big = modulus }
+
+  let modulus c = c.m_big
+
+  let enter c v =
+    let r = erem v c.m_big in
+    Mont.to_mont c.mc r.mg
+
+  let leave c (e : elt) = make 1 (Mont.from_mont c.mc e)
+
+  let zero c = Array.make c.mc.Mont.w 0
+  let one c = Mont.pad c.mc c.mc.Mont.one_m
+  let of_int c v = enter c (of_int v)
+
+  let equal (_ : ctx) (a : elt) (b : elt) = a = b
+  let is_zero (_ : ctx) (a : elt) = Array.for_all (fun l -> l = 0) a
+
+  (* Compare a padded array against the modulus limbs. *)
+  let ge_mod c (a : elt) =
+    let m = c.mc.Mont.m in
+    let rec cmp i =
+      if i < 0 then true
+      else if a.(i) <> m.(i) then a.(i) > m.(i)
+      else cmp (i - 1)
+    in
+    cmp (c.mc.Mont.w - 1)
+
+  let sub_mod_inplace c (a : elt) =
+    let m = c.mc.Mont.m in
+    let borrow = ref 0 in
+    for i = 0 to c.mc.Mont.w - 1 do
+      let d = a.(i) - m.(i) - !borrow in
+      if d < 0 then begin
+        a.(i) <- d + Mag.base;
+        borrow := 1
+      end else begin
+        a.(i) <- d;
+        borrow := 0
+      end
+    done
+
+  let add c (a : elt) (b : elt) : elt =
+    let w = c.mc.Mont.w in
+    let r = Array.make w 0 in
+    let carry = ref 0 in
+    for i = 0 to w - 1 do
+      let s = a.(i) + b.(i) + !carry in
+      r.(i) <- s land Mag.mask;
+      carry := s lsr Mag.base_bits
+    done;
+    (* a + b < 2m; one conditional subtraction restores the range. *)
+    if !carry > 0 || ge_mod c r then sub_mod_inplace c r;
+    r
+
+  let sub c (a : elt) (b : elt) : elt =
+    let w = c.mc.Mont.w in
+    let m = c.mc.Mont.m in
+    let r = Array.make w 0 in
+    let borrow = ref 0 in
+    for i = 0 to w - 1 do
+      let d = a.(i) - b.(i) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + Mag.base;
+        borrow := 1
+      end else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    if !borrow > 0 then begin
+      let carry = ref 0 in
+      for i = 0 to w - 1 do
+        let s = r.(i) + m.(i) + !carry in
+        r.(i) <- s land Mag.mask;
+        carry := s lsr Mag.base_bits
+      done
+    end;
+    r
+
+  let neg c (a : elt) = if is_zero c a then Array.copy a else sub c (zero c) a
+  let mul c (a : elt) (b : elt) : elt = Mont.mont_mul c.mc a b
+  let sqr c (a : elt) = mul c a a
+  let double c (a : elt) = add c a a
+
+  let mul_small c (a : elt) k =
+    if k < 0 then invalid_arg "Modring.mul_small: negative constant";
+    (* Binary double-and-add on the modular representatives. *)
+    let rec go acc base k =
+      if k = 0 then acc
+      else begin
+        let acc = if k land 1 = 1 then add c acc base else acc in
+        go acc (double c base) (k lsr 1)
+      end
+    in
+    go (zero c) a k
+
+  let pow c (a : elt) e =
+    if e.sg < 0 then invalid_arg "Modring.pow: negative exponent";
+    let nb = numbits e in
+    let acc = ref (one c) in
+    for i = nb - 1 downto 0 do
+      acc := mul c !acc !acc;
+      if testbit e i then acc := mul c !acc a
+    done;
+    !acc
+
+  let inv c (a : elt) =
+    let v = leave c a in
+    enter c (invmod v c.m_big)
+end

@@ -1,0 +1,441 @@
+(* Magnitude (unsigned) arbitrary-precision arithmetic on little-endian
+   arrays of 26-bit limbs.  This module is internal to [ppgr_bigint]; the
+   signed public interface is {!Bigint}.
+
+   Invariant: a magnitude is normalized, i.e. it has no most-significant
+   zero limb.  Zero is the empty array.
+
+   The limb width of 26 bits keeps every intermediate value of the
+   schoolbook and Montgomery inner loops below 2^53, well inside OCaml's
+   63-bit native [int] on 64-bit platforms. *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+let zero : int array = [||]
+
+let is_zero (a : int array) = Array.length a = 0
+
+let normalize (a : int array) =
+  let n = Array.length a in
+  let rec top i = if i > 0 && a.(i - 1) = 0 then top (i - 1) else i in
+  let t = top n in
+  if t = n then a else Array.sub a 0 t
+
+(* Number of significant bits in a limb value (0 for 0). *)
+let bits_of_limb v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let numbits (a : int array) =
+  let n = Array.length a in
+  if n = 0 then 0 else ((n - 1) * base_bits) + bits_of_limb a.(n - 1)
+
+let of_int (v : int) =
+  if v < 0 then invalid_arg "Mag.of_int: negative";
+  if v = 0 then zero
+  else begin
+    let rec count v acc = if v = 0 then acc else count (v lsr base_bits) (acc + 1) in
+    let n = count v 0 in
+    let a = Array.make n 0 in
+    let rec fill i v =
+      if v <> 0 then begin
+        a.(i) <- v land mask;
+        fill (i + 1) (v lsr base_bits)
+      end
+    in
+    fill 0 v;
+    a
+  end
+
+(* Largest int representable without overflow concern: up to 62 bits. *)
+let to_int_opt (a : int array) =
+  if numbits a > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      v := (!v lsl base_bits) lor a.(i)
+    done;
+    Some !v
+  end
+
+let compare (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let copy = Array.copy
+
+let add (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = max la lb in
+  let r = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let s = av + bv + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r.(lmax) <- !carry;
+  normalize r
+
+(* [sub a b] requires [a >= b]. *)
+let sub (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  assert (compare a b >= 0);
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let add_int a v = add a (of_int v)
+let sub_int a v = sub a (of_int v)
+
+let mul_int (a : int array) (v : int) =
+  if v < 0 || v >= base then invalid_arg "Mag.mul_int: limb out of range";
+  if v = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * v) + !carry in
+      r.(i) <- p land mask;
+      carry := p lsr base_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let mul_schoolbook (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          (* r.(i+j) < 2^26, ai*b.(j) < 2^52, carry < 2^27: sum < 2^53. *)
+          let p = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- p land mask;
+          carry := p lsr base_bits
+        done;
+        let rec prop k c =
+          if c <> 0 then begin
+            let p = r.(k) + c in
+            r.(k) <- p land mask;
+            prop (k + 1) (p lsr base_bits)
+          end
+        in
+        prop (i + lb) !carry
+      end
+    done;
+    normalize r
+  end
+
+let karatsuba_cutoff = ref 24
+
+(* Split [a] at limb [k] into (low, high). *)
+let split_at (a : int array) k =
+  let la = Array.length a in
+  if la <= k then (normalize (copy a), zero)
+  else (normalize (Array.sub a 0 k), normalize (Array.sub a k (la - k)))
+
+let shift_limbs (a : int array) k =
+  if is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + k) 0 in
+    Array.blit a 0 r k la;
+    r
+  end
+
+let rec mul (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if min la lb < !karatsuba_cutoff then mul_schoolbook a b
+  else begin
+    let k = (max la lb + 1) / 2 in
+    let a0, a1 = split_at a k in
+    let b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let shift_left (a : int array) bits =
+  if bits < 0 then invalid_arg "Mag.shift_left: negative";
+  if is_zero a || bits = 0 then normalize (copy a)
+  else begin
+    let limb_shift = bits / base_bits in
+    let bit_shift = bits mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    if bit_shift = 0 then Array.blit a 0 r limb_shift la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bit_shift) lor !carry in
+        r.(i + limb_shift) <- v land mask;
+        carry := v lsr base_bits
+      done;
+      r.(la + limb_shift) <- !carry
+    end;
+    normalize r
+  end
+
+let shift_right (a : int array) bits =
+  if bits < 0 then invalid_arg "Mag.shift_right: negative";
+  if is_zero a || bits = 0 then normalize (copy a)
+  else begin
+    let limb_shift = bits / base_bits in
+    let bit_shift = bits mod base_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let ln = la - limb_shift in
+      let r = Array.make ln 0 in
+      if bit_shift = 0 then Array.blit a limb_shift r 0 ln
+      else begin
+        for i = 0 to ln - 1 do
+          let lo = a.(i + limb_shift) lsr bit_shift in
+          let hi =
+            if i + limb_shift + 1 < la then
+              (a.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land mask
+            else 0
+          in
+          r.(i) <- lo lor hi
+        done
+      end;
+      normalize r
+    end
+  end
+
+let testbit (a : int array) i =
+  let limb = i / base_bits in
+  if limb >= Array.length a then false
+  else (a.(limb) lsr (i mod base_bits)) land 1 = 1
+
+(* Bitwise operations (used on non-negative values only). *)
+let logand a b =
+  let n = min (Array.length a) (Array.length b) in
+  normalize (Array.init n (fun i -> a.(i) land b.(i)))
+
+let logor a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  normalize
+    (Array.init n (fun i ->
+         (if i < la then a.(i) else 0) lor if i < lb then b.(i) else 0))
+
+let logxor a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  normalize
+    (Array.init n (fun i ->
+         (if i < la then a.(i) else 0) lxor if i < lb then b.(i) else 0))
+
+(* Division by a single limb; returns (quotient, remainder). *)
+let divmod_int (a : int array) (v : int) =
+  if v <= 0 || v >= base then invalid_arg "Mag.divmod_int: limb out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / v;
+    rem := cur mod v
+  done;
+  (normalize q, !rem)
+
+(* Knuth Algorithm D.  Requires [Array.length bv >= 2] after
+   normalization and [compare a b >= 0] is not required (handles any). *)
+let divmod_knuth (a : int array) (b : int array) =
+  let n = Array.length b in
+  assert (n >= 2);
+  if compare a b < 0 then (zero, normalize (copy a))
+  else begin
+    (* Normalize: shift so the top limb of the divisor has its high bit
+       (of the 26-bit limb) set. *)
+    let s = base_bits - bits_of_limb b.(n - 1) in
+    let u = shift_left a s in
+    let v = shift_left b s in
+    let v = if Array.length v < n then Array.append v [| 0 |] else v in
+    let m = Array.length u - n in
+    let m = if m < 0 then 0 else m in
+    (* Work array with one extra high limb. *)
+    let w = Array.make (Array.length u + 1) 0 in
+    Array.blit u 0 w 0 (Array.length u);
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) in
+    let vsec = if n >= 2 then v.(n - 2) else 0 in
+    for j = m downto 0 do
+      let num = (w.(j + n) lsl base_bits) lor w.(j + n - 1) in
+      let qhat = ref (num / vtop) in
+      let rhat = ref (num mod vtop) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := num - (!qhat * vtop)
+      end;
+      let continue = ref true in
+      while !continue && !rhat < base do
+        if !qhat * vsec > (!rhat lsl base_bits) lor w.(j + n - 2) then begin
+          decr qhat;
+          rhat := !rhat + vtop
+        end else continue := false
+      done;
+      (* Multiply and subtract: w[j..j+n] -= qhat * v. *)
+      let borrow = ref 0 in
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = w.(j + i) - (p land mask) - !borrow in
+        if d < 0 then begin
+          w.(j + i) <- d + base;
+          borrow := 1
+        end else begin
+          w.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let d = w.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add back. *)
+        w.(j + n) <- d + base;
+        decr qhat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let sum = w.(j + i) + v.(i) + !carry2 in
+          w.(j + i) <- sum land mask;
+          carry2 := sum lsr base_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !carry2) land mask
+      end else w.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub w 0 n) in
+    (normalize q, shift_right r s)
+  end
+
+let divmod (a : int array) (b : int array) =
+  if is_zero b then raise Division_by_zero;
+  if Array.length b = 1 then begin
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_knuth a b
+
+let rem a b = snd (divmod a b)
+let div a b = fst (divmod a b)
+
+let to_string_hex (a : int array) =
+  if is_zero a then "0"
+  else begin
+    let nb = numbits a in
+    let nhex = (nb + 3) / 4 in
+    let buf = Buffer.create nhex in
+    for i = nhex - 1 downto 0 do
+      let nibble =
+        (if testbit a ((4 * i) + 3) then 8 else 0)
+        lor (if testbit a ((4 * i) + 2) then 4 else 0)
+        lor (if testbit a ((4 * i) + 1) then 2 else 0)
+        lor if testbit a (4 * i) then 1 else 0
+      in
+      Buffer.add_char buf "0123456789abcdef".[nibble]
+    done;
+    Buffer.contents buf
+  end
+
+let of_string_hex (s : string) =
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | '_' -> -1
+        | _ -> invalid_arg "Mag.of_string_hex: bad character"
+      in
+      if v >= 0 then acc := add_int (shift_left !acc 4) v)
+    s;
+  !acc
+
+let to_string_dec (a : int array) =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go a =
+      if not (is_zero a) then begin
+        let q, r = divmod_int a 10_000_000 in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%07d" r)
+        end
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let of_string_dec (s : string) =
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+          acc := add_int (mul_int !acc 10) (Char.code c - Char.code '0')
+      | '_' -> ()
+      | _ -> invalid_arg "Mag.of_string_dec: bad character")
+    s;
+  !acc
+
+(* Big-endian byte serialization. *)
+let to_bytes (a : int array) =
+  if is_zero a then Bytes.create 0
+  else begin
+    let nb = (numbits a + 7) / 8 in
+    let b = Bytes.create nb in
+    for i = 0 to nb - 1 do
+      let byte = ref 0 in
+      for k = 0 to 7 do
+        if testbit a ((8 * i) + k) then byte := !byte lor (1 lsl k)
+      done;
+      Bytes.set b (nb - 1 - i) (Char.chr !byte)
+    done;
+    b
+  end
+
+let of_bytes (b : Bytes.t) =
+  let acc = ref zero in
+  Bytes.iter (fun c -> acc := add_int (shift_left !acc 8) (Char.code c)) b;
+  !acc

@@ -1,0 +1,178 @@
+type rand = Bigint.t -> Bigint.t
+
+let small_primes =
+  (* Sieve of Eratosthenes below 1000, computed once at load. *)
+  let limit = 1000 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to limit do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  let out = ref [] in
+  for i = limit downto 2 do
+    if sieve.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+(* One Miller-Rabin round with witness [a]; [n - 1 = d * 2^s], d odd. *)
+let mr_round n d s a =
+  let open Bigint in
+  let x = powmod a d n in
+  if equal x one || equal x (sub n one) then true
+  else begin
+    let rec go x i =
+      if i >= s then false
+      else begin
+        let x = powmod x two n in
+        if equal x (sub n one) then true else go x (i + 1)
+      end
+    in
+    go x 1
+  end
+
+let deterministic_witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_probable_prime ?(rounds = 32) (rand : rand) n =
+  let open Bigint in
+  if sign n <= 0 then false
+  else begin
+    match to_int_opt n with
+    | Some v when v < 2 -> false
+    | Some v when v <= 1_000_000 ->
+        (* Exact for small values via trial division. *)
+        let rec go i =
+          if i >= Array.length small_primes then true
+          else begin
+            let p = small_primes.(i) in
+            if p * p > v then true
+            else if v mod p = 0 then v = p
+            else go (i + 1)
+          end
+        in
+        if v mod 2 = 0 then v = 2
+        else go 0
+    | _ ->
+        let divisible_by_small =
+          Array.exists
+            (fun p -> is_zero (rem n (of_int p)) && not (equal n (of_int p)))
+            small_primes
+        in
+        if divisible_by_small then false
+        else begin
+          let n1 = sub n one in
+          let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
+          let d, s = split n1 0 in
+          let det_ok =
+            List.for_all
+              (fun w ->
+                let a = of_int w in
+                if compare a n1 >= 0 then true else mr_round n d s a)
+              deterministic_witnesses
+          in
+          if not det_ok then false
+          else if numbits n <= 81 then true
+            (* Sorenson–Webster: the 12 smallest primes are a complete
+               witness set below 3.3e24 (~2^81). *)
+          else begin
+            let rec rand_rounds i =
+              if i >= rounds then true
+              else begin
+                let a = add (rand (sub n (of_int 3))) two in
+                if mr_round n d s a then rand_rounds (i + 1) else false
+              end
+            in
+            rand_rounds 0
+          end
+        end
+  end
+
+let next_prime rand n =
+  let open Bigint in
+  let start = if compare n two < 0 then two else succ n in
+  let start = if is_even start && not (equal start two) then succ start else start in
+  let rec go c = if is_probable_prime rand c then c else go (add c two) in
+  if equal start two then two else go start
+
+let random_prime rand ~bits =
+  if bits < 2 then invalid_arg "Prime.random_prime: bits < 2";
+  let open Bigint in
+  let top = nth_bit_weight (bits - 1) in
+  let rec go () =
+    (* Uniform in [2^(bits-1), 2^bits), forced odd. *)
+    let c = add top (rand top) in
+    let c = if is_even c then succ c else c in
+    if numbits c = bits && is_probable_prime rand c then c else go ()
+  in
+  go ()
+
+let random_safe_prime rand ~bits =
+  if bits < 3 then invalid_arg "Prime.random_safe_prime: bits < 3";
+  let open Bigint in
+  let rec go () =
+    let q = random_prime rand ~bits:(bits - 1) in
+    let p = succ (shift_left q 1) in
+    if numbits p = bits && is_probable_prime rand p then p else go ()
+  in
+  go ()
+
+let sqrt_mod rand a ~p =
+  let open Bigint in
+  let a = erem a p in
+  if is_zero a then Some zero
+  else if equal p two then Some a
+  else if jacobi a p <> 1 then None
+  else if to_int_exn (logand p (of_int 3)) = 3 then begin
+    (* p = 3 mod 4: sqrt = a^((p+1)/4). *)
+    let r = powmod a (shift_right (succ p) 2) p in
+    Some r
+  end
+  else begin
+    (* Tonelli–Shanks.  Write p - 1 = q * 2^s with q odd. *)
+    let rec split q s = if is_even q then split (shift_right q 1) (s + 1) else (q, s) in
+    let q, s = split (pred p) 0 in
+    (* Find a quadratic non-residue z. *)
+    let rec find_z () =
+      let z = add (rand (sub p two)) two in
+      if jacobi z p = -1 then z else find_z ()
+    in
+    let z = find_z () in
+    let m = ref s in
+    let c = ref (powmod z q p) in
+    let t = ref (powmod a q p) in
+    let r = ref (powmod a (shift_right (succ q) 1) p) in
+    let result = ref None in
+    let continue = ref true in
+    while !continue do
+      if equal !t one then begin
+        result := Some !r;
+        continue := false
+      end
+      else begin
+        (* Least i, 0 < i < m, with t^(2^i) = 1. *)
+        let rec least_i tt i =
+          if equal tt one then i else least_i (rem (mul tt tt) p) (i + 1)
+        in
+        let i = least_i !t 0 in
+        if i = !m then begin
+          (* Should not happen when jacobi said residue. *)
+          result := None;
+          continue := false
+        end
+        else begin
+          let b = powmod !c (nth_bit_weight (!m - i - 1)) p in
+          m := i;
+          c := rem (mul b b) p;
+          t := rem (mul !t !c) p;
+          r := rem (mul !r b) p
+        end
+      end
+    done;
+    !result
+  end

@@ -1,0 +1,1 @@
+lib/dotprod/dot_product.ml: Array Bigint Ppgr_bigint Ppgr_rng Rng Zfield

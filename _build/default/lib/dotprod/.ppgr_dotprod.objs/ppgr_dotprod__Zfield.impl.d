@@ -1,0 +1,1 @@
+lib/dotprod/zfield.ml: Array Bigint Ppgr_bigint Ppgr_rng

@@ -1,0 +1,1 @@
+lib/dotprod/zfield.mli: Bigint Ppgr_bigint Ppgr_rng

@@ -1,0 +1,1 @@
+lib/elgamal/elgamal.ml: Bigint List Ppgr_bigint Ppgr_group Ppgr_rng Rng

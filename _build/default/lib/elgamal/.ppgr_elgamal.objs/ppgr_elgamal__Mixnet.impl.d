@@ -1,0 +1,1 @@
+lib/elgamal/mixnet.ml: Array Elgamal Ppgr_group Ppgr_rng Printf Rng

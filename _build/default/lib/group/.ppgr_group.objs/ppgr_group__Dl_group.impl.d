@@ -1,0 +1,1 @@
+lib/group/dl_group.ml: Array Bigint Bytes Group_intf List Modp_params Ppgr_bigint Ppgr_rng Rng

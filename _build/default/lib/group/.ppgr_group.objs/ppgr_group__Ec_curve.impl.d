@@ -1,0 +1,1 @@
+lib/group/ec_curve.ml: Array Bigint Group_intf List Ppgr_bigint

@@ -1,0 +1,1 @@
+lib/group/ec_group.ml: Bigint Bytes Ec_curve Ec_params Format Group_intf Ppgr_bigint Ppgr_rng Rng

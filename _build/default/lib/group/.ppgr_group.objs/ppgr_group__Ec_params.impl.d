@@ -1,0 +1,1 @@
+lib/group/ec_params.ml: Array Bigint Ec_curve List Ppgr_bigint Stdlib

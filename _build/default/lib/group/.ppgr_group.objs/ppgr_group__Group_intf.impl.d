@@ -1,0 +1,1 @@
+lib/group/group_intf.ml: Bigint Bytes Format Ppgr_bigint Ppgr_rng Rng

@@ -1,0 +1,1 @@
+lib/group/modp_params.ml: Bigint Ppgr_bigint String

@@ -1,0 +1,127 @@
+(** The "DL" group family: quadratic residues modulo a safe prime.
+
+    For a safe prime [p = 2q + 1] the quadratic residues form the unique
+    subgroup of prime order [q]; DDH is believed hard there (§IV-B of the
+    paper).  Elements are kept in Montgomery form so a group
+    multiplication is a single Montgomery multiplication. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+
+module type PARAMS = sig
+  val name : string
+  val security_bits : int
+
+  val p : Bigint.t
+  (** Safe prime with [p = 7 (mod 8)] (so that 2 is a residue). *)
+
+  val g : Bigint.t
+  (** Generator of the order-[q] subgroup of residues. *)
+end
+
+module Make (P : PARAMS) : Group_intf.GROUP = struct
+  let name = P.name
+  let security_bits = P.security_bits
+
+  type element = Bigint.Modring.elt
+
+  let ring = Bigint.Modring.ctx ~modulus:P.p
+  let order = Bigint.shift_right (Bigint.pred P.p) 1
+  let identity = Bigint.Modring.one ring
+  let generator = Bigint.Modring.enter ring P.g
+
+  let ops = ref 0
+  let op_count () = !ops
+  let reset_op_count () = ops := 0
+
+  let mul a b =
+    incr ops;
+    Bigint.Modring.mul ring a b
+
+  let equal a b = Bigint.Modring.equal ring a b
+  let is_identity x = equal x identity
+
+  let inv x =
+    (* Via the group structure: x^(q-1); counted through [mul]. *)
+    incr ops;
+    Bigint.Modring.inv ring x
+
+  let pow_nonneg x e =
+    (* wNAF-4 with precomputed odd powers; every group multiplication
+       (squarings included) ticks the op counter once. *)
+    let x2 = mul x x in
+    let odd = Array.make 4 x in
+    for i = 1 to 3 do
+      odd.(i) <- mul odd.(i - 1) x2
+    done;
+    let digits = Group_intf.wnaf4 e in
+    (* Inverses of table entries are computed lazily, at most once each. *)
+    let inv_cache = Array.make 4 None in
+    let inv_odd i =
+      match inv_cache.(i) with
+      | Some v -> v
+      | None ->
+          let v = inv odd.(i) in
+          inv_cache.(i) <- Some v;
+          v
+    in
+    List.fold_left
+      (fun acc d ->
+        let acc = mul acc acc in
+        if d = 0 then acc
+        else if d > 0 then mul acc odd.(d / 2)
+        else mul acc (inv_odd (-d / 2)))
+      identity digits
+
+  let pow x e =
+    let e = Bigint.erem e order in
+    if Bigint.is_zero e then identity else pow_nonneg x e
+
+  let pow_gen e = pow generator e
+
+  let element_bytes = (Bigint.numbits P.p + 7) / 8
+
+  let to_bytes x =
+    Bigint.to_bytes_be_padded element_bytes
+      (Bigint.Modring.leave ring x)
+
+  let of_bytes b =
+    if Bytes.length b <> element_bytes then None
+    else begin
+      let v = Bigint.of_bytes_be b in
+      if Bigint.sign v <= 0 || Bigint.compare v P.p >= 0 then None
+      else if Bigint.jacobi v P.p <> 1 then None
+      else Some (Bigint.Modring.enter ring v)
+    end
+
+  let pp fmt x = Bigint.pp fmt (Bigint.Modring.leave ring x)
+
+  let random_scalar rng =
+    Bigint.succ (Rng.bigint_below rng (Bigint.pred order))
+end
+
+(* [pow] in this family starts from the identity and multiplies [wnaf]
+   digits in; [inv] inside [pow_nonneg] is counted but occurs at most 4
+   times per exponentiation (table setup), matching the paper's O(lambda)
+   multiplications per exponentiation. *)
+
+let of_safe_prime ~name ~security_bits p : Group_intf.group =
+  (module Make (struct
+    let name = name
+    let security_bits = security_bits
+    let p = p
+    let g = Bigint.of_int 4
+
+    (* 4 = 2^2 is always a quadratic residue; for a safe prime every
+       non-identity residue generates the whole order-q subgroup. *)
+  end))
+
+let dl_1024 () = of_safe_prime ~name:"DL-1024" ~security_bits:80 Modp_params.p_1024
+let dl_2048 () = of_safe_prime ~name:"DL-2048" ~security_bits:112 Modp_params.p_2048
+
+let dl_3072 () = of_safe_prime ~name:"DL-3072" ~security_bits:128 Modp_params.p_3072
+
+let dl_test_64 () = of_safe_prime ~name:"DL-test-64" ~security_bits:0 Modp_params.test_64
+let dl_test_96 () = of_safe_prime ~name:"DL-test-96" ~security_bits:0 Modp_params.test_96
+let dl_test_128 () = of_safe_prime ~name:"DL-test-128" ~security_bits:0 Modp_params.test_128
+let dl_test_256 () = of_safe_prime ~name:"DL-test-256" ~security_bits:0 Modp_params.test_256

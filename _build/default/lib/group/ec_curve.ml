@@ -1,0 +1,194 @@
+(** Short-Weierstrass elliptic curves [y^2 = x^3 + ax + b] over a prime
+    field, with Jacobian-coordinate point arithmetic and wNAF scalar
+    multiplication.
+
+    A point [(X, Y, Z)] in Jacobian coordinates represents the affine
+    point [(X/Z^2, Y/Z^3)]; the point at infinity has [Z = 0].  Field
+    elements live in the Montgomery domain of {!Bigint.Modring}. *)
+
+open Ppgr_bigint
+module Modring = Bigint.Modring
+
+type params = {
+  name : string;
+  security_bits : int;
+  p : Bigint.t; (* field prime *)
+  a : Bigint.t;
+  b : Bigint.t;
+  gx : Bigint.t;
+  gy : Bigint.t;
+  n : Bigint.t; (* order of the base point (prime) *)
+  h : int; (* cofactor *)
+}
+
+type curve = {
+  prm : params;
+  fp : Modring.ctx;
+  ca : Modring.elt;
+  cb : Modring.elt;
+  a_is_minus3 : bool;
+  ops : int ref; (* point additions/doublings performed *)
+}
+
+type point = {
+  x : Modring.elt;
+  y : Modring.elt;
+  z : Modring.elt; (* z = 0 encodes the point at infinity *)
+}
+
+let make_curve prm =
+  let fp = Modring.ctx ~modulus:prm.p in
+  let ca = Modring.enter fp prm.a in
+  {
+    prm;
+    fp;
+    ca;
+    cb = Modring.enter fp prm.b;
+    a_is_minus3 = Bigint.equal (Bigint.erem prm.a prm.p) (Bigint.sub prm.p (Bigint.of_int 3));
+    ops = ref 0;
+  }
+
+let infinity cv = { x = Modring.one cv.fp; y = Modring.one cv.fp; z = Modring.zero cv.fp }
+let is_infinity cv pt = Modring.is_zero cv.fp pt.z
+
+let of_affine cv ax ay =
+  { x = Modring.enter cv.fp ax; y = Modring.enter cv.fp ay; z = Modring.one cv.fp }
+
+let base_point cv = of_affine cv cv.prm.gx cv.prm.gy
+
+let to_affine cv pt =
+  if is_infinity cv pt then None
+  else begin
+    let zi = Modring.inv cv.fp pt.z in
+    let zi2 = Modring.sqr cv.fp zi in
+    let zi3 = Modring.mul cv.fp zi2 zi in
+    Some
+      ( Modring.leave cv.fp (Modring.mul cv.fp pt.x zi2),
+        Modring.leave cv.fp (Modring.mul cv.fp pt.y zi3) )
+  end
+
+let on_curve cv pt =
+  if is_infinity cv pt then true
+  else begin
+    match to_affine cv pt with
+    | None -> true
+    | Some (ax, ay) ->
+        let open Bigint in
+        let x = erem ax cv.prm.p and y = erem ay cv.prm.p in
+        let lhs = erem (mul y y) cv.prm.p in
+        let rhs = erem (add (add (mul (mul x x) x) (mul cv.prm.a x)) cv.prm.b) cv.prm.p in
+        equal lhs rhs
+  end
+
+let neg cv pt =
+  if is_infinity cv pt then pt else { pt with y = Modring.neg cv.fp pt.y }
+
+(* Point doubling ("dbl-2004-hmv" / standard Jacobian formulas, with the
+   a = -3 shortcut M = 3(X-Z^2)(X+Z^2)). *)
+let double cv pt =
+  if is_infinity cv pt || Modring.is_zero cv.fp pt.y then infinity cv
+  else begin
+    incr cv.ops;
+    let f = cv.fp in
+    let xx = Modring.sqr f pt.x in
+    let yy = Modring.sqr f pt.y in
+    let yyyy = Modring.sqr f yy in
+    let zz = Modring.sqr f pt.z in
+    (* S = 4 X YY *)
+    let s = Modring.double f (Modring.double f (Modring.mul f pt.x yy)) in
+    let m =
+      if cv.a_is_minus3 then begin
+        let t1 = Modring.sub f pt.x zz in
+        let t2 = Modring.add f pt.x zz in
+        Modring.mul_small f (Modring.mul f t1 t2) 3
+      end
+      else begin
+        let zzzz = Modring.sqr f zz in
+        Modring.add f (Modring.mul_small f xx 3) (Modring.mul f cv.ca zzzz)
+      end
+    in
+    let x3 = Modring.sub f (Modring.sqr f m) (Modring.double f s) in
+    let y3 =
+      Modring.sub f
+        (Modring.mul f m (Modring.sub f s x3))
+        (Modring.double f (Modring.double f (Modring.double f yyyy)))
+    in
+    let z3 = Modring.mul f (Modring.double f pt.y) pt.z in
+    { x = x3; y = y3; z = z3 }
+  end
+
+(* General Jacobian addition ("add-2007-bl" style). *)
+let add cv p1 p2 =
+  if is_infinity cv p1 then p2
+  else if is_infinity cv p2 then p1
+  else begin
+    let f = cv.fp in
+    let z1z1 = Modring.sqr f p1.z in
+    let z2z2 = Modring.sqr f p2.z in
+    let u1 = Modring.mul f p1.x z2z2 in
+    let u2 = Modring.mul f p2.x z1z1 in
+    let s1 = Modring.mul f p1.y (Modring.mul f p2.z z2z2) in
+    let s2 = Modring.mul f p2.y (Modring.mul f p1.z z1z1) in
+    if Modring.equal f u1 u2 then begin
+      if Modring.equal f s1 s2 then double cv p1 else infinity cv
+    end
+    else begin
+      incr cv.ops;
+      let h = Modring.sub f u2 u1 in
+      let i = Modring.sqr f (Modring.double f h) in
+      let j = Modring.mul f h i in
+      let r = Modring.double f (Modring.sub f s2 s1) in
+      let v = Modring.mul f u1 i in
+      let x3 =
+        Modring.sub f (Modring.sub f (Modring.sqr f r) j) (Modring.double f v)
+      in
+      let y3 =
+        Modring.sub f
+          (Modring.mul f r (Modring.sub f v x3))
+          (Modring.double f (Modring.mul f s1 j))
+      in
+      let z3 =
+        Modring.mul f
+          (Modring.sub f
+             (Modring.sub f (Modring.sqr f (Modring.add f p1.z p2.z)) z1z1)
+             z2z2)
+          h
+      in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
+
+let scalar_mul cv pt e =
+  let e = Bigint.erem e cv.prm.n in
+  if Bigint.is_zero e || is_infinity cv pt then infinity cv
+  else begin
+    (* wNAF-4: precompute odd multiples P, 3P, 5P, 7P. *)
+    let p2 = double cv pt in
+    let odd = Array.make 4 pt in
+    for i = 1 to 3 do
+      odd.(i) <- add cv odd.(i - 1) p2
+    done;
+    let digits = Group_intf.wnaf4 e in
+    List.fold_left
+      (fun acc d ->
+        let acc = double cv acc in
+        if d = 0 then acc
+        else if d > 0 then add cv acc odd.(d / 2)
+        else add cv acc (neg cv odd.(-d / 2)))
+      (infinity cv) digits
+  end
+
+(* Equality in Jacobian coordinates: cross-multiplied comparison to avoid
+   inversion. *)
+let equal cv p1 p2 =
+  match (is_infinity cv p1, is_infinity cv p2) with
+  | true, true -> true
+  | true, false | false, true -> false
+  | false, false ->
+      let f = cv.fp in
+      let z1z1 = Modring.sqr f p1.z in
+      let z2z2 = Modring.sqr f p2.z in
+      Modring.equal f (Modring.mul f p1.x z2z2) (Modring.mul f p2.x z1z1)
+      && Modring.equal f
+           (Modring.mul f p1.y (Modring.mul f p2.z z2z2))
+           (Modring.mul f p2.y (Modring.mul f p1.z z1z1))

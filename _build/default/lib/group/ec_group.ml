@@ -1,0 +1,72 @@
+(** Wrap an elliptic curve (prime-order base-point subgroup) as a
+    {!Group_intf.GROUP}.  A "group multiplication" in the op counter is a
+    point addition or doubling, the unit of the paper's ECC cost model. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+
+module Make (P : sig
+  val params : Ec_curve.params
+end) : Group_intf.GROUP = struct
+  let cv = Ec_curve.make_curve P.params
+  let name = P.params.Ec_curve.name
+  let security_bits = P.params.Ec_curve.security_bits
+
+  type element = Ec_curve.point
+
+  let order = P.params.Ec_curve.n
+  let generator = Ec_curve.base_point cv
+  let identity = Ec_curve.infinity cv
+  let mul a b = Ec_curve.add cv a b
+  let inv a = Ec_curve.neg cv a
+  let pow x e = Ec_curve.scalar_mul cv x e
+  let pow_gen e = pow generator e
+  let equal a b = Ec_curve.equal cv a b
+  let is_identity x = Ec_curve.is_infinity cv x
+
+  let fbytes = (Bigint.numbits P.params.Ec_curve.p + 7) / 8
+  let element_bytes = 1 + (2 * fbytes)
+
+  let to_bytes pt =
+    let out = Bytes.make element_bytes '\000' in
+    (match Ec_curve.to_affine cv pt with
+    | None -> () (* infinity: all-zero encoding with tag 0 *)
+    | Some (ax, ay) ->
+        Bytes.set out 0 '\004';
+        Bytes.blit (Bigint.to_bytes_be_padded fbytes ax) 0 out 1 fbytes;
+        Bytes.blit (Bigint.to_bytes_be_padded fbytes ay) 0 out (1 + fbytes) fbytes);
+    out
+
+  let of_bytes b =
+    if Bytes.length b <> element_bytes then None
+    else begin
+      match Bytes.get b 0 with
+      | '\000' -> Some identity
+      | '\004' ->
+          let ax = Bigint.of_bytes_be (Bytes.sub b 1 fbytes) in
+          let ay = Bigint.of_bytes_be (Bytes.sub b (1 + fbytes) fbytes) in
+          let pt = Ec_curve.of_affine cv ax ay in
+          if Ec_curve.on_curve cv pt then Some pt else None
+      | _ -> None
+    end
+
+  let pp fmt pt =
+    match Ec_curve.to_affine cv pt with
+    | None -> Format.pp_print_string fmt "O"
+    | Some (ax, ay) -> Format.fprintf fmt "(%a, %a)" Bigint.pp ax Bigint.pp ay
+
+  let random_scalar rng = Bigint.succ (Rng.bigint_below rng (Bigint.pred order))
+  let op_count () = !(cv.Ec_curve.ops)
+  let reset_op_count () = cv.Ec_curve.ops := 0
+end
+
+let of_params params : Group_intf.group =
+  (module Make (struct
+    let params = params
+  end))
+
+let ecc_160 () = of_params Ec_params.secp160r1
+let ecc_192 () = of_params Ec_params.secp192r1
+let ecc_224 () = of_params Ec_params.secp224r1
+let ecc_256 () = of_params Ec_params.secp256r1
+let ecc_tiny () = of_params (Ec_params.tiny ())

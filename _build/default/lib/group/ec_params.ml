@@ -1,0 +1,184 @@
+(** Vendored SEC 2 / NIST curve parameters.
+
+    The test suite validates each set: [p] and [n] prime, base point on
+    curve, [n]·G = O.  [tiny ()] builds a toy curve over a small prime
+    with its order found by exhaustive point counting — insecure, but it
+    lets unit tests enumerate the whole group. *)
+
+open Ppgr_bigint
+
+let b = Bigint.of_string
+
+(* secp160r1: the "160-bit ECC group" of the paper's evaluation. *)
+let secp160r1 : Ec_curve.params =
+  {
+    name = "ECC-160";
+    security_bits = 80;
+    p = b "0xffffffffffffffffffffffffffffffff7fffffff";
+    a = b "0xffffffffffffffffffffffffffffffff7ffffffc";
+    b = b "0x1c97befc54bd7a8b65acf89f81d4d4adc565fa45";
+    gx = b "0x4a96b5688ef573284664698968c38bb913cbfc82";
+    gy = b "0x23a628553168947d59dcc912042351377ac5fb32";
+    n = b "0x0100000000000000000001f4c8f927aed3ca752257";
+    h = 1;
+  }
+
+(* secp224r1 (NIST P-224): 112-bit security level. *)
+let secp224r1 : Ec_curve.params =
+  {
+    name = "ECC-224";
+    security_bits = 112;
+    p = b "0xffffffffffffffffffffffffffffffff000000000000000000000001";
+    a = b "0xfffffffffffffffffffffffffffffffefffffffffffffffffffffffe";
+    b = b "0xb4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4";
+    gx = b "0xb70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21";
+    gy = b "0xbd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34";
+    n = b "0xffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d";
+    h = 1;
+  }
+
+(* secp256r1 (NIST P-256): 128-bit security level. *)
+let secp256r1 : Ec_curve.params =
+  {
+    name = "ECC-256";
+    security_bits = 128;
+    p = b "0xffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+    a = b "0xffffffff00000001000000000000000000000000fffffffffffffffffffffffc";
+    b = b "0x5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+    gx = b "0x6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+    gy = b "0x4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+    n = b "0xffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+    h = 1;
+  }
+
+(* secp192r1 (NIST P-192): fallback / extra level. *)
+let secp192r1 : Ec_curve.params =
+  {
+    name = "ECC-192";
+    security_bits = 96;
+    p = b "0xfffffffffffffffffffffffffffffffeffffffffffffffff";
+    a = b "0xfffffffffffffffffffffffffffffffefffffffffffffffc";
+    b = b "0x64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1";
+    gx = b "0x188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012";
+    gy = b "0x07192b95ffc8da78631011ed6b24cdd573f977a11e794811";
+    n = b "0xffffffffffffffffffffffff99def836146bc9b1b4d22831";
+    h = 1;
+  }
+
+(* A toy curve for exhaustive unit tests over F_9739, found by scanning
+   curve coefficients until the whole point group has prime order (so
+   the subgroup is as large as the field and cofactor is 1).  Insecure;
+   point counting is brute force, which is fine for a tiny p. *)
+let tiny_with ~a ~b:bb () : Ec_curve.params =
+  let p = 9739 in
+  (* Count points and record quadratic residues. *)
+  let sqrt_table = Array.make p [] in
+  for y = 0 to p - 1 do
+    let y2 = y * y mod p in
+    sqrt_table.(y2) <- y :: sqrt_table.(y2)
+  done;
+  let order = ref 1 (* infinity *) in
+  let points = ref [] in
+  for x = 0 to p - 1 do
+    let rhs = (((x * x mod p * x) + (a * x) + bb) mod p + p) mod p in
+    List.iter
+      (fun y ->
+        incr order;
+        points := (x, y) :: !points)
+      sqrt_table.(rhs)
+  done;
+  (* Factor the group order and find a point of large prime order. *)
+  let n = !order in
+  let rec largest_prime_factor n d best =
+    if d * d > n then if n > 1 then n else best
+    else if n mod d = 0 then largest_prime_factor (n / d) d (Stdlib.max best d)
+    else largest_prime_factor n (d + 1) best
+  in
+  let q = largest_prime_factor n 2 1 in
+  let cof = n / q in
+  (* Multiply candidate points by the cofactor until one has order q.
+     Use simple affine arithmetic locally. *)
+  let add_affine p1 p2 =
+    match (p1, p2) with
+    | None, q | q, None -> q
+    | Some (x1, y1), Some (x2, y2) ->
+        if x1 = x2 && (y1 + y2) mod p = 0 then None
+        else begin
+          let inv v =
+            (* Fermat: v^(p-2) mod p. *)
+            let rec pw b e acc =
+              if e = 0 then acc
+              else pw (b * b mod p) (e / 2) (if e land 1 = 1 then acc * b mod p else acc)
+            in
+            pw (((v mod p) + p) mod p) (p - 2) 1
+          in
+          let s =
+            if x1 = x2 then ((3 * x1 * x1 mod p) + a) mod p * inv (2 * y1) mod p
+            else (y2 - y1 + p) mod p * inv ((x2 - x1 + p) mod p) mod p
+          in
+          let x3 = ((s * s mod p) - x1 - x2 + (2 * p)) mod p in
+          let y3 = ((s * ((x1 - x3 + p) mod p) mod p) - y1 + p) mod p in
+          Some (x3, y3)
+        end
+  in
+  let scalar_mul_affine k pt =
+    let rec go k base acc =
+      if k = 0 then acc
+      else begin
+        let acc = if k land 1 = 1 then add_affine acc base else acc in
+        go (k lsr 1) (add_affine base base) acc
+      end
+    in
+    go k (Some pt) None
+  in
+  let rec find_gen = function
+    | [] -> invalid_arg "Ec_params.tiny: no generator found"
+    | pt :: rest -> begin
+        match scalar_mul_affine cof pt with
+        | None -> find_gen rest
+        | Some g ->
+            if scalar_mul_affine q g = None then g else find_gen rest
+      end
+  in
+  let gx, gy = find_gen !points in
+  {
+    name = "ECC-tiny";
+    security_bits = 0;
+    p = Bigint.of_int p;
+    a = Bigint.of_int a;
+    b = Bigint.of_int bb;
+    gx = Bigint.of_int gx;
+    gy = Bigint.of_int gy;
+    n = Bigint.of_int q;
+    h = cof;
+  }
+
+(* Scan b until the group order is prime; the discriminant must stay
+   non-zero (4a^3 + 27b^2 <> 0 mod p). *)
+let tiny_cache = ref None
+
+let tiny () : Ec_curve.params =
+  match !tiny_cache with
+  | Some prm -> prm
+  | None ->
+      let is_prime n =
+        let rec go d = if d * d > n then true else if n mod d = 0 then false else go (d + 1) in
+        n > 1 && go 2
+      in
+      let rec search b =
+        if b > 200 then invalid_arg "Ec_params.tiny: no prime-order curve found"
+        else begin
+          let disc = ((4 * 2 * 2 * 2) + (27 * b * b)) mod 9739 in
+          if disc = 0 then search (b + 1)
+          else begin
+            let prm = tiny_with ~a:2 ~b ()
+            in
+            match Ppgr_bigint.Bigint.to_int_opt prm.Ec_curve.n with
+            | Some q when prm.Ec_curve.h = 1 && is_prime q ->
+                tiny_cache := Some prm;
+                prm
+            | _ -> search (b + 1)
+          end
+        end
+      in
+      search 1

@@ -1,0 +1,82 @@
+(** The abstract prime-order group the framework is built on.
+
+    The paper needs a multiplicative group [G_q] of prime order [q] in
+    which the decisional Diffie–Hellman problem is hard (§IV-B), with two
+    concrete families: quadratic residues modulo a safe prime ("DL") and
+    a prime-order elliptic-curve subgroup ("ECC").
+
+    Every implementation counts group operations ([mul] and the operations
+    a [pow] expands to), which is the cost metric of the paper's §VI-B
+    analysis; the benchmark harness reads {!val-op_count}. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+
+module type GROUP = sig
+  val name : string
+
+  val security_bits : int
+  (** Equivalent symmetric security level (80/112/128) per the NIST
+      guidance the paper cites. *)
+
+  type element
+
+  val order : Bigint.t
+  (** The prime order [q] of the group. *)
+
+  val generator : element
+  val identity : element
+  val mul : element -> element -> element
+  val inv : element -> element
+
+  val pow : element -> Bigint.t -> element
+  (** [pow x e] for any integer [e] (reduced modulo {!order}). *)
+
+  val pow_gen : Bigint.t -> element
+  (** [pow_gen e = pow generator e]. *)
+
+  val equal : element -> element -> bool
+  val is_identity : element -> bool
+
+  val to_bytes : element -> Bytes.t
+  (** Fixed-length canonical encoding ({!element_bytes} bytes). *)
+
+  val of_bytes : Bytes.t -> element option
+  (** Decode and validate group membership. *)
+
+  val element_bytes : int
+  (** Serialized size; doubles as the ciphertext-size unit [S_c] in the
+      paper's communication analysis. *)
+
+  val pp : Format.formatter -> element -> unit
+
+  val random_scalar : Rng.t -> Bigint.t
+  (** Uniform in [[1, q-1]]. *)
+
+  val op_count : unit -> int
+  (** Group multiplications performed since the last reset. *)
+
+  val reset_op_count : unit -> unit
+end
+
+type group = (module GROUP)
+
+(** Width-4 signed sliding-window (wNAF) recoding of a non-negative
+    exponent: digits in {0, ±1, ±3, ±5, ±7}, most significant first.
+    Shared by both group families' [pow]. *)
+let wnaf4 (e : Bigint.t) : int list =
+  if Bigint.sign e < 0 then invalid_arg "wnaf4: negative exponent";
+  let digits = ref [] in
+  let e = ref e in
+  while not (Bigint.is_zero !e) do
+    if Bigint.is_odd !e then begin
+      (* Centered remainder modulo 16 in [-8, 8). *)
+      let m = Bigint.to_int_exn (Bigint.logand !e (Bigint.of_int 15)) in
+      let d = if m >= 8 then m - 16 else m in
+      digits := d :: !digits;
+      e := Bigint.sub !e (Bigint.of_int d)
+    end
+    else digits := 0 :: !digits;
+    e := Bigint.shift_right !e 1
+  done;
+  !digits

@@ -1,0 +1,69 @@
+(** Vendored safe-prime ("MODP") group moduli.
+
+    The production moduli follow the RFC 2412 / RFC 3526 construction
+    [p = 2^n - 2^(n-64) - 1 + 2^64 (floor(2^(n-130) pi) + c)] with the
+    smallest [c] making [p] a safe prime; [bin/gen_modp.ml] regenerates
+    them from scratch and the test suite re-checks safe-primality with
+    Miller–Rabin.  All satisfy [p = 7 (mod 8)], so 2 is a quadratic
+    residue generating the order-[(p-1)/2] subgroup.
+
+    The [test_*] moduli are small safe primes (deterministically generated
+    from seed "ppgr-test-groups") for fast unit tests; they offer no
+    security. *)
+
+open Ppgr_bigint
+
+let hex parts = Bigint.of_string ("0x" ^ String.concat "" parts)
+
+(* Second Oakley Group (RFC 2412): 1024-bit. *)
+let p_1024 =
+  hex
+    [
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74";
+      "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437";
+      "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED";
+      "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF";
+    ]
+
+(* RFC 3526 group 14: 2048-bit. *)
+let p_2048 =
+  hex
+    [
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74";
+      "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437";
+      "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED";
+      "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05";
+      "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB";
+      "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B";
+      "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718";
+      "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+    ]
+
+(* RFC 3526 group 15: 3072-bit, regenerated from scratch by
+   [bin/gen_modp.ml] (pi-formula construction, smallest c = 1690314 —
+   matching the published RFC value). *)
+let p_3072 =
+  hex
+    [
+      "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74";
+      "020bbea63b139b22514a08798e3404ddef9519b3cd3a431b302b0a6df25f1437";
+      "4fe1356d6d51c245e485b576625e7ec6f44c42e9a637ed6b0bff5cb6f406b7ed";
+      "ee386bfb5a899fa5ae9f24117c4b1fe649286651ece45b3dc2007cb8a163bf05";
+      "98da48361c55d39a69163fa8fd24cf5f83655d23dca3ad961c62f356208552bb";
+      "9ed529077096966d670c354e4abc9804f1746c08ca18217c32905e462e36ce3b";
+      "e39e772c180e86039b2783a2ec07a28fb5c55df06f4c52c9de2bcbf695581718";
+      "3995497cea956ae515d2261898fa051015728e5a8aaac42dad33170d04507a33";
+      "a85521abdf1cba64ecfb850458dbef0a8aea71575d060c7db3970f85a6e1e4c7";
+      "abf5ae8cdb0933d71e8c94e04a25619dcee3d2261ad2ee6bf12ffa06d98a0864";
+      "d87602733ec86a64521f2b18177b200cbbe117577a615d6c770988c0bad946e2";
+      "08e24fa074e5ab3143db5bfce0fd108e4b82d120a93ad2caffffffffffffffff";
+    ]
+
+(* Small test safe primes (64/96/128/256 bits). *)
+let test_64 = Bigint.of_string "0x846663e83d3afaa3"
+let test_96 = Bigint.of_string "0xd984cf42250b13d872a53573"
+let test_128 = Bigint.of_string "0xe75fed529e994a5d5eee8e15fd6cdeab"
+
+let test_256 =
+  Bigint.of_string
+    "0x896021ad93c506e2cf06405f5da7748eb0bae73e7d60779df0cd33bc273b70e3"

@@ -1,0 +1,22 @@
+(** Global counter of full-size exponentiations (exponents on the order
+    of the group size λ).
+
+    Group-multiplication counts measured on a small test group do not
+    transfer to a production group directly: the mults hidden inside a
+    full exponentiation scale with λ.  The evaluation harness therefore
+    records exponentiations separately — call sites in the ElGamal and
+    Schnorr layers tick this meter — and predicts a production group's
+    per-party multiplications as
+
+    [exps * mults_per_exp(target) + (mults_test - exps * mults_per_exp(test))]
+
+    where both [mults_per_exp] factors are measured.  Constant-size
+    exponentiations (e.g. scaling a ciphertext by a small circuit
+    constant) are deliberately not ticked; their cost is λ-independent
+    and stays in the plain multiplication count. *)
+
+let full_exps = ref 0
+let tick () = incr full_exps
+let tick_n k = full_exps := !full_exps + k
+let count () = !full_exps
+let reset () = full_exps := 0

@@ -1,0 +1,1 @@
+lib/grouprank/attrs.ml: Array Bigint Ppgr_bigint Ppgr_rng Printf Rng

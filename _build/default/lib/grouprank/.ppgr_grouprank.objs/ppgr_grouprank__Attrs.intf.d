@@ -1,0 +1,1 @@
+lib/grouprank/attrs.mli: Bigint Ppgr_bigint Ppgr_rng

@@ -1,0 +1,1 @@
+lib/grouprank/cost.ml: List Netsim Ppgr_mpcnet

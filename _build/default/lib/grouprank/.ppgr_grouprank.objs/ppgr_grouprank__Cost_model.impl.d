@@ -1,0 +1,1 @@
+lib/grouprank/cost_model.ml: Array Bigint Compare Cost Engine List Netsim Phase2 Ppgr_bigint Ppgr_dotprod Ppgr_group Ppgr_mpcnet Ppgr_rng Ppgr_shamir Rng Sort_network Ss_sort Stdlib

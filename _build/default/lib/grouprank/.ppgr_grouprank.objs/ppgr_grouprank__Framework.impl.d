@@ -1,0 +1,1 @@
+lib/grouprank/framework.ml: Array Attrs Bigint Cost List Netsim Phase1 Phase2 Ppgr_bigint Ppgr_dotprod Ppgr_group Ppgr_mpcnet

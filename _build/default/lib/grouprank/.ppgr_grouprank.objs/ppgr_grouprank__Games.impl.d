@@ -1,0 +1,1 @@
+lib/grouprank/games.ml: Array Bigint List Phase2 Ppgr_bigint Ppgr_group Ppgr_rng Printf Rng

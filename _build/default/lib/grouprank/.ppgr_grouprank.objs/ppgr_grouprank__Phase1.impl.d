@@ -1,0 +1,1 @@
+lib/grouprank/phase1.ml: Array Attrs Bigint Dot_product Ppgr_bigint Ppgr_dotprod Ppgr_rng Rng Zfield

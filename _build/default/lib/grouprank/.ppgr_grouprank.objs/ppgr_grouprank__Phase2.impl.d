@@ -1,0 +1,1 @@
+lib/grouprank/phase2.ml: Array Bigint Cost List Netsim Ppgr_bigint Ppgr_elgamal Ppgr_group Ppgr_mpcnet Ppgr_rng Ppgr_zkp Printf Rng

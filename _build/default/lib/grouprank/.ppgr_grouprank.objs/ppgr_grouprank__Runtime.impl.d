@@ -1,0 +1,1 @@
+lib/grouprank/runtime.ml: Array Bigint Bytes Ppgr_bigint Ppgr_elgamal Ppgr_group Ppgr_rng Ppgr_zkp Printf Rng Wire

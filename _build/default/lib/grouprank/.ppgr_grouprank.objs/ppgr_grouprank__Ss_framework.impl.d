@@ -1,0 +1,1 @@
+lib/grouprank/ss_framework.ml: Array Bigint Compare Cost Engine Framework List Netsim Phase1 Ppgr_bigint Ppgr_dotprod Ppgr_mpcnet Ppgr_shamir Ss_sort Stdlib Zfield

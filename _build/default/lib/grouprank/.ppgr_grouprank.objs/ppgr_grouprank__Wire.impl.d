@@ -1,0 +1,1 @@
+lib/grouprank/wire.ml: Array Bigint Buffer Bytes Char List Ppgr_bigint Ppgr_dotprod Ppgr_elgamal Ppgr_group Ppgr_zkp Printf

@@ -1,0 +1,61 @@
+(** The attribute and gain model of §III-A.
+
+    A questionnaire has [m] attributes; the first [t] are "equal to"
+    attributes (the initiator prefers values near its criterion) and the
+    rest "greater than" (bigger is better).  Values are [d1]-bit and
+    weights [d2]-bit unsigned integers.  The framework ranks by the
+    {e partial gain}, which orders identically to the gain of
+    Definition 1 while hiding part of the criterion. *)
+
+open Ppgr_bigint
+
+type spec = {
+  m : int; (* total attributes *)
+  t : int; (* leading "equal to" attributes, 0 <= t <= m *)
+  d1 : int; (* attribute value bits *)
+  d2 : int; (* weight bits *)
+}
+
+val spec : m:int -> t:int -> d1:int -> d2:int -> spec
+(** @raise Invalid_argument on nonsensical dimensions. *)
+
+type criterion = {
+  v0 : int array; (* m preferred values, d1-bit *)
+  w : int array; (* m weights, d2-bit *)
+}
+
+type info = int array
+(** A participant's [m] answers, [d1]-bit each. *)
+
+val check_criterion : spec -> criterion -> unit
+val check_info : spec -> info -> unit
+
+val gain : spec -> criterion -> info -> int
+(** Definition 1:
+    [Σ_{k>t} w_k (v_k - v0_k) - Σ_{k<=t} w_k (v_k - v0_k)^2]. *)
+
+val partial_gain : spec -> criterion -> info -> int
+(** Same ranking as {!gain}; differs by {!gain_offset}. *)
+
+val gain_offset : spec -> criterion -> int
+(** [gain = partial_gain - gain_offset]; depends only on the
+    initiator's secrets. *)
+
+val partial_gain_bits : spec -> int
+(** Sound signed bit-width bound for partial gains (sign included). *)
+
+val participant_vector : spec -> info -> Bigint.t array
+(** The paper's [w'_j = [vg; ve*ve; ve; 1]] (Fig. 1 step 2). *)
+
+val initiator_vector : spec -> criterion -> rho:Bigint.t -> rho_j:Bigint.t -> Bigint.t array
+(** The paper's [v'_j = [rho wg; -rho we; 2 rho (we*ve0); rho_j]]
+    (Fig. 1 step 3); entries are signed. *)
+
+(** {1 Workload generation} *)
+
+val random_criterion : Ppgr_rng.Rng.t -> spec -> criterion
+val random_info : Ppgr_rng.Rng.t -> spec -> info
+
+val reference_ranks : spec -> criterion -> info array -> int array
+(** Plaintext ranking: 1-based, non-increasing gain, ties share the
+    smallest applicable rank. *)

@@ -1,0 +1,155 @@
+(** The complete privacy-preserving group ranking framework (Fig. 1):
+    secure gain computation, unlinkable gain comparison, and ranking
+    submission, glued together over a chosen group instantiation.
+
+    The runtime entry point {!run} executes all three phases for an
+    initiator (criterion + weights) and [n] participants (information
+    vectors), returning everyone's view: each participant's rank, the
+    top-[k] submissions received by the initiator, the over-claim check,
+    and the full cost ledger for the evaluation harness. *)
+
+open Ppgr_bigint
+open Ppgr_mpcnet
+
+type config = {
+  spec : Attrs.spec;
+  k : int; (* how many top participants the initiator invites *)
+  h : int; (* mask bits (rho) *)
+  s_dim : int; (* dot-product hiding dimension *)
+}
+
+let config ?(h = 15) ?(s_dim = 6) ~spec ~k () =
+  if k < 1 then invalid_arg "Framework.config: k must be >= 1";
+  { spec; k; h; s_dim }
+
+(** A top-k submission as received by the initiator. *)
+type submission = {
+  participant : int;
+  claimed_rank : int;
+  info : Attrs.info;
+}
+
+type costs = {
+  participant_ops : int array; (* phase-2 group multiplications *)
+  participant_exps : int array; (* phase-2 full exponentiations *)
+  initiator_field_mults : int; (* phase-1 work on the initiator *)
+  schedule : Cost.schedule; (* full message schedule, phases 1-3 *)
+  beta_bits : int; (* the l of this run *)
+}
+
+type outcome = {
+  ranks : int array; (* what each participant learned *)
+  submissions : submission list; (* what the initiator received *)
+  accepted : submission list; (* submissions passing the recheck *)
+  flagged : submission list; (* inconsistent claims *)
+  costs : costs;
+}
+
+module Make (G : Ppgr_group.Group_intf.GROUP) = struct
+  module P2 = Phase2.Make (G)
+
+  (** Over-claim detection (§V, ranking submission): the initiator
+      recomputes each submitter's gain and rejects a submission whose
+      claimed rank ordering contradicts the recomputed gains, i.e. a
+      submitter whose gain is smaller than that of a submitter it
+      claims to outrank. *)
+  let vet_submissions spec criterion (subs : submission list) =
+    let scored =
+      List.map (fun s -> (s, Attrs.partial_gain spec criterion s.info)) subs
+    in
+    let consistent (s, g) =
+      List.for_all
+        (fun (s', g') ->
+          if s'.participant = s.participant then true
+          else if s.claimed_rank < s'.claimed_rank then g >= g'
+          else if s.claimed_rank > s'.claimed_rank then g <= g'
+          else true)
+        scored
+    in
+    List.partition consistent scored
+    |> fun (ok, bad) -> (List.map fst ok, List.map fst bad)
+
+  let run ?(naive_omega = false) rng (cfg : config)
+      ~(criterion : Attrs.criterion) ~(infos : Attrs.info array) : outcome =
+    let n = Array.length infos in
+    if n = 0 then invalid_arg "Framework.run: no participants";
+    if cfg.k > n then invalid_arg "Framework.run: k larger than group";
+    (* Phase 1: secure gain computation. *)
+    let p1cfg = Phase1.config ~spec:cfg.spec ~h:cfg.h ~s_dim:cfg.s_dim () in
+    let field = p1cfg.Phase1.field in
+    Ppgr_dotprod.Zfield.reset_mult_count field;
+    let _secrets, interactions = Phase1.run rng p1cfg ~criterion ~infos in
+    let initiator_field_mults = Ppgr_dotprod.Zfield.mult_count field in
+    let l = Phase1.beta_bits p1cfg in
+    let field_bytes = (Bigint.numbits (Ppgr_dotprod.Zfield.modulus field) + 7) / 8 in
+    (* Phase-1 message schedule: party indices 0..n-1 are participants,
+       index n is the initiator. *)
+    let phase1_rounds =
+      [
+        {
+          Cost.critical_ops = 0;
+          messages =
+            List.concat_map
+              (fun j ->
+                Netsim.unicast ~src:j ~dst:n
+                  ~bytes:(interactions.(j).Phase1.round1_elements * field_bytes))
+              (List.init n (fun j -> j));
+        };
+        {
+          Cost.critical_ops = 0;
+          messages =
+            List.concat_map
+              (fun j ->
+                Netsim.unicast ~src:n ~dst:j
+                  ~bytes:(interactions.(j).Phase1.round2_elements * field_bytes))
+              (List.init n (fun j -> j));
+        };
+      ]
+    in
+    (* Phase 2: unlinkable comparison on the unsigned masked gains. *)
+    let betas = Array.map (fun i -> i.Phase1.beta_unsigned) interactions in
+    let p2 = P2.run ~naive_omega rng ~l ~betas in
+    let ranks = p2.P2.ranks in
+    (* Phase 3: top-k submission and over-claim vetting. *)
+    let submissions =
+      List.filter_map
+        (fun j ->
+          if ranks.(j) <= cfg.k then
+            Some { participant = j; claimed_rank = ranks.(j); info = infos.(j) }
+          else None)
+        (List.init n (fun j -> j))
+    in
+    let accepted, flagged = vet_submissions cfg.spec criterion submissions in
+    let info_bytes = cfg.spec.Attrs.m * 8 in
+    let phase3_round =
+      {
+        Cost.critical_ops = 0;
+        messages =
+          List.map
+            (fun s -> { Netsim.src = s.participant; dst = n; bytes = info_bytes + 8 })
+            submissions;
+      }
+    in
+    {
+      ranks;
+      submissions;
+      accepted;
+      flagged;
+      costs =
+        {
+          participant_ops = p2.P2.per_party_ops;
+          participant_exps = p2.P2.per_party_exps;
+          initiator_field_mults;
+          schedule = phase1_rounds @ p2.P2.schedule @ [ phase3_round ];
+          beta_bits = l;
+        };
+    }
+end
+
+(** Runtime-dispatch convenience: run the framework over a first-class
+    group value. *)
+let run_with_group ?naive_omega (g : Ppgr_group.Group_intf.group) rng cfg
+    ~criterion ~infos =
+  let module G = (val g) in
+  let module F = Make (G) in
+  F.run ?naive_omega rng cfg ~criterion ~infos

@@ -1,0 +1,271 @@
+(** Phase 2 — the identity-unlinkable multiparty sorting protocol
+    (Fig. 1 steps 5–8), the paper's core contribution.
+
+    Each participant [P_j] holds an [l]-bit unsigned masked gain
+    [beta_j].  The protocol gives every participant the rank of its own
+    value — and nothing else — in [O(n)] communication rounds:
+
+    + {b Keys} (step 5): each participant picks an ElGamal key pair for
+      the shared group and proves knowledge of its secret key to the
+      [n-1] others with the multi-verifier Schnorr proof; the joint
+      public key is [y = Π y_j], whose secret key nobody knows.
+    + {b Bitwise encryption} (step 6): each participant publishes the
+      bit-by-bit exponential-ElGamal encryption of [beta_j] under [y].
+    + {b Blind comparison} (step 7): for every other participant [P_i],
+      [P_j] homomorphically evaluates on [E(beta_i)] — using its own
+      bits in the clear — the circuit
+      [gamma^b = beta_j^b XOR beta_i^b],
+      [omega^b = (l-b)(1 - gamma^b) + Σ_{v>b} gamma^v],
+      [tau^b = omega^b + beta_j^b]:
+      the [tau] vector contains a 0 iff [beta_j < beta_i] (at most one).
+      The suffix sums make the circuit O(l) homomorphic operations per
+      pair instead of the naive O(l^2) (see the ablation bench).
+      All of [P_j]'s ciphertext sets go to [P_1].
+    + {b Decryption ring} (step 8): [P_1 .. P_n] each in turn partially
+      decrypt every ciphertext of every set not their own, raise both
+      components to a fresh random exponent (so non-zero plaintexts are
+      randomized while zeros stay zero), and permute each set; [P_n]
+      returns each set to its owner.
+    + {b Counting}: [P_j] strips its own key layer from its set and
+      counts zero plaintexts ([g^m = 1]); its rank is [count + 1].
+
+    Identity unlinkability comes from the per-set permutations: an
+    adversary controlling up to [n-2] parties cannot link a plaintext
+    zero back to the comparison that produced it. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_mpcnet
+
+module Make (G : Ppgr_group.Group_intf.GROUP) = struct
+  module E = Ppgr_elgamal.Elgamal.Make (G)
+  module Z = Ppgr_zkp.Schnorr.Make (G)
+
+  let scalar_bytes = (Bigint.numbits G.order + 7) / 8
+
+  type result = {
+    ranks : int array; (* 1-based; index = participant *)
+    per_party_ops : int array; (* group operations by each participant *)
+    per_party_exps : int array; (* full-size exponentiations per party *)
+    schedule : Cost.schedule;
+    zkp_ok : bool array array; (* zkp_ok.(verifier).(prover) *)
+    zero_flags : bool array array;
+        (* zero_flags.(j).(c): whether ciphertext c of P_j's returned
+           (post-permutation) set decrypted to zero — exposed so the
+           security-game tests can check the permutations leave zero
+           positions uniform. *)
+  }
+
+  (* Track each party's group operations and full exponentiations by
+     sampling the global meters around that party's local computation
+     (execution is sequential in this simulation). *)
+  let with_party2 ops exps j f =
+    let before = G.op_count () in
+    let before_e = Ppgr_group.Opmeter.count () in
+    let r = f () in
+    ops.(j) <- ops.(j) + (G.op_count () - before);
+    exps.(j) <- exps.(j) + (Ppgr_group.Opmeter.count () - before_e);
+    r
+
+  (* The homomorphic identity E(0) with zero randomness; a valid
+     starting point for homomorphic sums. *)
+  let enc_zero = { E.c = G.identity; c' = G.identity }
+
+  (** The step-7 circuit: [P_j]'s comparison of its clear bits against
+      [P_i]'s encrypted bits.  Returns the [l] ciphertexts [E(tau^b)].
+      [naive_omega] recomputes each suffix sum from scratch (the paper's
+      O(l^2) accounting), for the ablation bench. *)
+  let compare_circuit ?(naive_omega = false) ~l ~own_bits (enc_bits : E.cipher array) =
+    if Array.length enc_bits <> l then invalid_arg "Phase2.compare_circuit: bad length";
+    (* gamma^b = own XOR other: linear because own bits are clear. *)
+    let gamma =
+      Array.init l (fun b ->
+          if own_bits.(b) = 0 then enc_bits.(b)
+          else E.add_clear (E.neg enc_bits.(b)) Bigint.one)
+    in
+    let suffix b =
+      (* Σ_{v>b} gamma^v *)
+      let acc = ref enc_zero in
+      for v = b + 1 to l - 1 do
+        acc := E.add !acc gamma.(v)
+      done;
+      !acc
+    in
+    let suffixes =
+      if naive_omega then Array.init l suffix
+      else begin
+        (* One pass from the top: S_{l-1} = 0, S_b = S_{b+1} + gamma_{b+1}. *)
+        let s = Array.make l enc_zero in
+        for b = l - 2 downto 0 do
+          s.(b) <- E.add s.(b + 1) gamma.(b + 1)
+        done;
+        s
+      end
+    in
+    Array.init l (fun b ->
+        (* omega^b = (l-b)(1-gamma^b) + S_b;  tau^b = omega^b + own bit. *)
+        let one_minus = E.add_clear (E.neg gamma.(b)) Bigint.one in
+        let omega = E.add (E.scale_int one_minus (l - b)) suffixes.(b) in
+        if own_bits.(b) = 0 then omega else E.add_clear omega Bigint.one)
+
+  let run ?(naive_omega = false) rng ~l ~(betas : Bigint.t array) : result =
+    let n = Array.length betas in
+    if n = 0 then invalid_arg "Phase2.run: no participants";
+    Array.iter
+      (fun b ->
+        if Bigint.sign b < 0 || Bigint.numbits b > l then
+          invalid_arg "Phase2.run: beta out of l-bit range")
+      betas;
+    let ops = Array.make n 0 in
+    let exps = Array.make n 0 in
+    let with_party ops j f = with_party2 ops exps j f in
+    let schedule = ref [] in
+    let round ~critical_ops messages =
+      schedule := { Cost.critical_ops; messages } :: !schedule
+    in
+    (* Critical-path ops of a step: the largest per-party op delta since
+       the snapshot taken before the step. *)
+    let snap () = Array.copy ops in
+    let crit_since s =
+      let m = ref 0 in
+      Array.iteri (fun j v -> if v - s.(j) > !m then m := v - s.(j)) ops;
+      !m
+    in
+    let party_rngs = Array.init n (fun j -> Rng.split rng ~label:(Printf.sprintf "party-%d" j)) in
+    if n = 1 then
+      {
+        ranks = [| 1 |];
+        per_party_ops = ops;
+        per_party_exps = exps;
+        schedule = [];
+        zkp_ok = [| [| true |] |];
+        zero_flags = [| [||] |];
+      }
+    else begin
+      (* Step 5: key generation and knowledge proofs. *)
+      let s0 = snap () in
+      let keys =
+        Array.init n (fun j -> with_party ops j (fun () -> E.keygen party_rngs.(j)))
+      in
+      let pubs = Array.map snd keys in
+      round ~critical_ops:(crit_since s0)
+        (Netsim.all_broadcast ~parties:n ~bytes:G.element_bytes);
+      let s1 = snap () in
+      let transcripts =
+        Array.init n (fun j ->
+            with_party ops j (fun () ->
+                Z.prove_interactive party_rngs.(j) ~secret:(fst keys.(j))
+                  ~statement:pubs.(j) ~n_verifiers:(n - 1)))
+      in
+      (* Commitment, challenges, response: three broadcast rounds. *)
+      round ~critical_ops:(crit_since s1)
+        (Netsim.all_broadcast ~parties:n ~bytes:G.element_bytes);
+      round ~critical_ops:0 (Netsim.all_broadcast ~parties:n ~bytes:scalar_bytes);
+      round ~critical_ops:0 (Netsim.all_broadcast ~parties:n ~bytes:scalar_bytes);
+      let s2 = snap () in
+      let zkp_ok =
+        Array.init n (fun verifier ->
+            Array.init n (fun prover ->
+                if verifier = prover then true
+                else
+                  with_party ops verifier (fun () ->
+                      Z.verify_transcript ~statement:pubs.(prover) transcripts.(prover))))
+      in
+      let joint = E.joint_pubkey (Array.to_list pubs) in
+      (* Step 6: bitwise encryption of own beta under the joint key. *)
+      let bits = Array.map (fun b -> Bigint.bits_of b ~width:l) betas in
+      let enc_bits =
+        Array.init n (fun j ->
+            with_party ops j (fun () ->
+                Array.init l (fun b ->
+                    E.encrypt_exp_int party_rngs.(j) joint bits.(j).(b))))
+      in
+      round ~critical_ops:(crit_since s2)
+        (Netsim.all_broadcast ~parties:n ~bytes:(l * E.cipher_bytes));
+      (* Step 7: every P_j compares against every other P_i and ships
+         the resulting ciphertext sets to P_1 (index 0). *)
+      let s3 = snap () in
+      let sets =
+        (* sets.(j).(i) = ciphertexts of comparison "j vs i" (i <> j),
+           owned by j.  The inner option keeps indexing regular. *)
+        Array.init n (fun j ->
+            with_party ops j (fun () ->
+                Array.init n (fun i ->
+                    if i = j then None
+                    else
+                      Some
+                        (compare_circuit ~naive_omega ~l ~own_bits:bits.(j)
+                           enc_bits.(i)))))
+      in
+      let per_set_ciphers = (n - 1) * l in
+      round ~critical_ops:(crit_since s3)
+        (List.concat_map
+           (fun j ->
+             if j = 0 then []
+             else Netsim.unicast ~src:j ~dst:0 ~bytes:(per_set_ciphers * E.cipher_bytes))
+           (List.init n (fun j -> j)));
+      (* Step 8: the decryption ring.  V.(j) is P_j's set: a flat array
+         of its (n-1) * l ciphertexts. *)
+      let v =
+        Array.init n (fun j ->
+            Array.concat
+              (Array.to_list
+                 (Array.map (function Some cs -> cs | None -> [||]) sets.(j))))
+      in
+      let all_sets_bytes = n * per_set_ciphers * E.cipher_bytes in
+      for hop = 0 to n - 1 do
+        (* Party [hop] processes every set but its own. *)
+        let s_hop = snap () in
+        with_party ops hop (fun () ->
+            for owner = 0 to n - 1 do
+              if owner <> hop then begin
+                let set = v.(owner) in
+                for c = 0 to Array.length set - 1 do
+                  let stripped = E.partial_decrypt (fst keys.(hop)) set.(c) in
+                  set.(c) <- E.exponent_blind party_rngs.(hop) stripped
+                done;
+                Rng.shuffle party_rngs.(hop) set
+              end
+            done);
+        if hop < n - 1 then
+          round ~critical_ops:(crit_since s_hop)
+            (Netsim.unicast ~src:hop ~dst:(hop + 1) ~bytes:all_sets_bytes)
+        else
+          (* P_n returns each set to its owner. *)
+          round ~critical_ops:(crit_since s_hop)
+            (List.concat_map
+               (fun owner ->
+                 if owner = n - 1 then []
+                 else
+                   Netsim.unicast ~src:(n - 1) ~dst:owner
+                     ~bytes:(per_set_ciphers * E.cipher_bytes))
+               (List.init n (fun o -> o)))
+      done;
+      (* Final counting: strip own layer, count zero plaintexts. *)
+      let s4 = snap () in
+      let zero_flags =
+        Array.init n (fun j ->
+            with_party ops j (fun () ->
+                Array.map (fun cph -> E.decrypt_exp_is_zero (fst keys.(j)) cph) v.(j)))
+      in
+      let ranks =
+        Array.map
+          (fun flags -> 1 + Array.fold_left (fun acc z -> if z then acc + 1 else acc) 0 flags)
+          zero_flags
+      in
+      round ~critical_ops:(crit_since s4) [];
+      {
+        ranks;
+        per_party_ops = ops;
+        per_party_exps = exps;
+        schedule = List.rev !schedule;
+        zkp_ok;
+        zero_flags;
+      }
+    end
+
+  (** Total ciphertexts a single participant sends (the paper's
+      communication analysis: [l] in step 6 plus [l n (n+1)] over the
+      ring). *)
+  let ciphertexts_per_party ~n ~l = l + (l * n * (n + 1))
+end

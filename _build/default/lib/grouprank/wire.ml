@@ -1,0 +1,254 @@
+(** Binary wire format for every message the framework exchanges.
+
+    The simulation layers pass OCaml values around directly; a deployment
+    sends bytes.  This module pins down a canonical, versioned encoding
+    for each protocol message — phase-1 dot-product rounds, phase-2 key
+    announcements, proofs, ciphertext batches, and phase-3 submissions —
+    so that (a) the byte counts the evaluation charges are the real
+    serialized sizes, and (b) decoding is validating: group elements are
+    checked for membership, lengths for consistency.
+
+    Encoding conventions: big-endian fixed-width length prefixes
+    (u16 for counts, u32 for blob lengths); non-negative bigints as
+    length-prefixed minimal big-endian bytes; group elements in the
+    group's fixed-width canonical encoding; every top-level message
+    starts with a one-byte tag. *)
+
+open Ppgr_bigint
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(** {1 Primitive writers/readers} *)
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let contents = Buffer.to_bytes
+
+  let u8 b v =
+    if v < 0 || v > 0xFF then invalid_arg "Wire.u8";
+    Buffer.add_char b (Char.chr v)
+
+  let u16 b v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Wire.u16";
+    u8 b (v lsr 8);
+    u8 b (v land 0xFF)
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.u32";
+    u16 b (v lsr 16);
+    u16 b (v land 0xFFFF)
+
+  let blob b (data : Bytes.t) =
+    u32 b (Bytes.length data);
+    Buffer.add_bytes b data
+
+  let bigint b (v : Bigint.t) =
+    if Bigint.sign v < 0 then invalid_arg "Wire.bigint: negative";
+    blob b (Bigint.to_bytes_be v)
+
+  (* Signed bigint: sign byte then magnitude. *)
+  let sbigint b (v : Bigint.t) =
+    u8 b (if Bigint.sign v < 0 then 1 else 0);
+    blob b (Bigint.to_bytes_be (Bigint.abs v))
+end
+
+module R = struct
+  type t = { data : Bytes.t; mutable pos : int }
+
+  let of_bytes data = { data; pos = 0 }
+
+  let ensure r n =
+    if r.pos + n > Bytes.length r.data then fail "truncated message (need %d bytes)" n
+
+  let u8 r =
+    ensure r 1;
+    let v = Char.code (Bytes.get r.data r.pos) in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let hi = u8 r in
+    (hi lsl 8) lor u8 r
+
+  let u32 r =
+    let hi = u16 r in
+    (hi lsl 16) lor u16 r
+
+  let blob r =
+    let len = u32 r in
+    ensure r len;
+    let b = Bytes.sub r.data r.pos len in
+    r.pos <- r.pos + len;
+    b
+
+  let bigint r = Bigint.of_bytes_be (blob r)
+
+  let sbigint r =
+    let neg = u8 r = 1 in
+    let v = Bigint.of_bytes_be (blob r) in
+    if neg then Bigint.neg v else v
+
+  let finished r = r.pos = Bytes.length r.data
+
+  let expect_end r = if not (finished r) then fail "trailing bytes"
+end
+
+(** {1 Phase-1 (field) messages} *)
+
+(* Message tags. *)
+let tag_dot_round1 = 0x01
+let tag_dot_round2 = 0x02
+let tag_pubkey = 0x10
+let tag_zkp = 0x11
+let tag_cipher_batch = 0x12
+let tag_submission = 0x20
+
+let encode_vec b (v : Bigint.t array) =
+  W.u16 b (Array.length v);
+  Array.iter (W.bigint b) v
+
+let decode_vec r =
+  let n = R.u16 r in
+  Array.init n (fun _ -> R.bigint r)
+
+let encode_dot_round1 (m : Ppgr_dotprod.Dot_product.round1) =
+  let b = W.create () in
+  W.u8 b tag_dot_round1;
+  W.u16 b (Array.length m.Ppgr_dotprod.Dot_product.qx);
+  Array.iter (encode_vec b) m.Ppgr_dotprod.Dot_product.qx;
+  encode_vec b m.Ppgr_dotprod.Dot_product.c';
+  encode_vec b m.Ppgr_dotprod.Dot_product.g;
+  W.contents b
+
+let decode_dot_round1 data : Ppgr_dotprod.Dot_product.round1 =
+  let r = R.of_bytes data in
+  if R.u8 r <> tag_dot_round1 then fail "bad tag for dot round 1";
+  let rows = R.u16 r in
+  let qx = Array.init rows (fun _ -> decode_vec r) in
+  let c' = decode_vec r in
+  let g = decode_vec r in
+  R.expect_end r;
+  if Array.length c' <> Array.length g then fail "c'/g dimension mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length c' then fail "QX row dimension mismatch")
+    qx;
+  { Ppgr_dotprod.Dot_product.qx; c'; g }
+
+let encode_dot_round2 (m : Ppgr_dotprod.Dot_product.round2) =
+  let b = W.create () in
+  W.u8 b tag_dot_round2;
+  W.bigint b m.Ppgr_dotprod.Dot_product.a;
+  W.bigint b m.Ppgr_dotprod.Dot_product.h;
+  W.contents b
+
+let decode_dot_round2 data : Ppgr_dotprod.Dot_product.round2 =
+  let r = R.of_bytes data in
+  if R.u8 r <> tag_dot_round2 then fail "bad tag for dot round 2";
+  let a = R.bigint r in
+  let h = R.bigint r in
+  R.expect_end r;
+  { Ppgr_dotprod.Dot_product.a; h }
+
+(** {1 Phase-3 submission} *)
+
+type submission_msg = { sub_rank : int; sub_info : int array }
+
+let encode_submission (m : submission_msg) =
+  let b = W.create () in
+  W.u8 b tag_submission;
+  W.u16 b m.sub_rank;
+  W.u16 b (Array.length m.sub_info);
+  Array.iter (fun v -> W.u32 b v) m.sub_info;
+  W.contents b
+
+let decode_submission data =
+  let r = R.of_bytes data in
+  if R.u8 r <> tag_submission then fail "bad tag for submission";
+  let sub_rank = R.u16 r in
+  let m = R.u16 r in
+  let sub_info = Array.init m (fun _ -> R.u32 r) in
+  R.expect_end r;
+  { sub_rank; sub_info }
+
+(** {1 Phase-2 (group) messages} *)
+
+module Make (G : Ppgr_group.Group_intf.GROUP) = struct
+  module E = Ppgr_elgamal.Elgamal.Make (G)
+  module Z = Ppgr_zkp.Schnorr.Make (G)
+
+  let encode_element b (e : G.element) = Buffer.add_bytes b (G.to_bytes e)
+
+  let decode_element r =
+    R.ensure r G.element_bytes;
+    let raw = Bytes.sub r.R.data r.R.pos G.element_bytes in
+    r.R.pos <- r.R.pos + G.element_bytes;
+    match G.of_bytes raw with
+    | Some e -> e
+    | None -> fail "invalid group element (not in the group)"
+
+  let encode_pubkey (y : G.element) =
+    let b = W.create () in
+    W.u8 b tag_pubkey;
+    encode_element b y;
+    W.contents b
+
+  let decode_pubkey data =
+    let r = R.of_bytes data in
+    if R.u8 r <> tag_pubkey then fail "bad tag for pubkey";
+    let y = decode_element r in
+    R.expect_end r;
+    y
+
+  let encode_zkp (t : Z.transcript) =
+    let b = W.create () in
+    W.u8 b tag_zkp;
+    encode_element b t.Z.commitment;
+    W.u16 b (List.length t.Z.challenges);
+    List.iter (W.bigint b) t.Z.challenges;
+    W.bigint b t.Z.response;
+    W.contents b
+
+  let decode_zkp data : Z.transcript =
+    let r = R.of_bytes data in
+    if R.u8 r <> tag_zkp then fail "bad tag for zkp";
+    let commitment = decode_element r in
+    let nc = R.u16 r in
+    let challenges = List.init nc (fun _ -> R.bigint r) in
+    let response = R.bigint r in
+    R.expect_end r;
+    { Z.commitment; challenges; response }
+
+  let encode_cipher b (c : E.cipher) =
+    encode_element b c.E.c;
+    encode_element b c.E.c'
+
+  let decode_cipher r =
+    let c = decode_element r in
+    let c' = decode_element r in
+    { E.c; c' }
+
+  (** A batch of ciphertexts (step-6 bit vectors, step-7/8 sets). *)
+  let encode_cipher_batch (cs : E.cipher array) =
+    let b = W.create () in
+    W.u8 b tag_cipher_batch;
+    W.u32 b (Array.length cs);
+    Array.iter (encode_cipher b) cs;
+    W.contents b
+
+  let decode_cipher_batch data =
+    let r = R.of_bytes data in
+    if R.u8 r <> tag_cipher_batch then fail "bad tag for cipher batch";
+    let n = R.u32 r in
+    let cs = Array.init n (fun _ -> decode_cipher r) in
+    R.expect_end r;
+    cs
+
+  (** Exact serialized size of a [k]-ciphertext batch; the evaluation's
+      [S_c]-based accounting plus framing. *)
+  let cipher_batch_bytes k = 1 + 4 + (k * 2 * G.element_bytes)
+end

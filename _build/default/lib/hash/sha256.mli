@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Used for Fiat–Shamir transcript hashing and for seeding the
+    deterministic CSPRNG.  Incremental and one-shot interfaces. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed_bytes : ctx -> Bytes.t -> unit
+val feed_string : ctx -> string -> unit
+
+val finalize : ctx -> Bytes.t
+(** 32-byte digest.  The context must not be reused afterwards. *)
+
+val digest_bytes : Bytes.t -> Bytes.t
+val digest_string : string -> Bytes.t
+
+val hex_of_digest : Bytes.t -> string
+
+val hmac : key:Bytes.t -> Bytes.t -> Bytes.t
+(** HMAC-SHA256 (RFC 2104). *)

@@ -1,0 +1,1 @@
+lib/mpcnet/netsim.ml: Array Float List Topology

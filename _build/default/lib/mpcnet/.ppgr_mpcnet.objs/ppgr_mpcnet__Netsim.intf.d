@@ -1,0 +1,1 @@
+lib/mpcnet/netsim.mli: Topology

@@ -1,0 +1,1 @@
+lib/mpcnet/topology.ml: Array List Ppgr_rng Queue Rng

@@ -1,0 +1,1 @@
+lib/mpcnet/topology.mli: Ppgr_rng

@@ -1,0 +1,144 @@
+(** Network topologies for the protocol simulation.
+
+    The paper's NS2 setup (§VII): a random graph obtained by deleting
+    edges from an 80-node complete graph until 320 edges remain, never
+    disconnecting it; every link 2 Mbps duplex with 50 ms latency.
+    {!random_connected} reproduces that construction. *)
+
+open Ppgr_rng
+
+type link = {
+  bandwidth_bps : float;
+  latency_s : float;
+}
+
+type t = {
+  nodes : int;
+  adj : (int * link) list array; (* adjacency: neighbor, link *)
+}
+
+let nodes t = t.nodes
+
+let edge_count t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.adj / 2
+
+let neighbors t v = t.adj.(v)
+
+let default_link = { bandwidth_bps = 2_000_000.; latency_s = 0.050 }
+
+(* Connectivity check by BFS over an explicit edge set. *)
+let connected ~nodes edges =
+  let adj = Array.make nodes [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let seen = Array.make nodes false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  seen.(0) <- true;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          incr count;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  !count = nodes
+
+let of_edges ~nodes ?(link = default_link) edges =
+  if not (connected ~nodes edges) then invalid_arg "Topology.of_edges: disconnected";
+  let adj = Array.make nodes [] in
+  List.iter
+    (fun (u, v) ->
+      if u = v || u < 0 || v >= nodes then invalid_arg "Topology.of_edges: bad edge";
+      adj.(u) <- (v, link) :: adj.(u);
+      adj.(v) <- (u, link) :: adj.(v))
+    edges;
+  { nodes; adj }
+
+(** The paper's construction: start from the complete graph on [nodes]
+    and delete random edges that do not disconnect it until [edges]
+    remain. *)
+let random_connected rng ~nodes ~edges ?(link = default_link) () =
+  let all = ref [] in
+  for u = 0 to nodes - 1 do
+    for v = u + 1 to nodes - 1 do
+      all := (u, v) :: !all
+    done
+  done;
+  let current = ref !all in
+  let count = ref (List.length !all) in
+  if edges < nodes - 1 then invalid_arg "Topology.random_connected: too few edges";
+  (* Repeatedly try deleting a random edge; skip ones whose removal
+     disconnects the graph. *)
+  let attempts = ref 0 in
+  let max_attempts = 50 * List.length !all in
+  while !count > edges && !attempts < max_attempts do
+    incr attempts;
+    let arr = Array.of_list !current in
+    let idx = Rng.int_below rng (Array.length arr) in
+    let e = arr.(idx) in
+    let without = List.filter (fun e' -> e' <> e) !current in
+    if connected ~nodes without then begin
+      current := without;
+      decr count
+    end
+  done;
+  of_edges ~nodes ~link !current
+
+(** All-pairs shortest paths by hop count (uniform links): returns
+    [next.(u).(v)] = first hop from [u] towards [v]. *)
+let routing t =
+  let n = t.nodes in
+  let next = Array.make_matrix n n (-1) in
+  for src = 0 to n - 1 do
+    (* BFS from src, recording parents. *)
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    Queue.add src queue;
+    seen.(src) <- true;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun (v, _) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            parent.(v) <- u;
+            Queue.add v queue
+          end)
+        t.adj.(u)
+    done;
+    for dst = 0 to n - 1 do
+      if dst <> src && seen.(dst) then begin
+        (* Walk back from dst to find the first hop out of src. *)
+        let rec first_hop v = if parent.(v) = src then v else first_hop parent.(v) in
+        next.(src).(dst) <- first_hop dst
+      end
+    done
+  done;
+  next
+
+(** Path from [src] to [dst] as a list of nodes (excluding [src]). *)
+let path ~next ~src ~dst =
+  let rec go u acc =
+    if u = dst then List.rev acc
+    else begin
+      let hop = next.(u).(dst) in
+      if hop < 0 then invalid_arg "Topology.path: unreachable";
+      go hop (hop :: acc)
+    end
+  in
+  go src []
+
+let link_between t u v =
+  match List.assoc_opt v t.adj.(u) with
+  | Some l -> l
+  | None -> invalid_arg "Topology.link_between: not adjacent"

@@ -1,0 +1,42 @@
+(** Network topologies for the protocol simulation.
+
+    The paper's NS2 setup (§VII) is a random graph obtained by deleting
+    edges from an 80-node complete graph until 320 edges remain, never
+    disconnecting it; every link is 2 Mbps duplex with 50 ms latency.
+    {!random_connected} reproduces that construction. *)
+
+type link = {
+  bandwidth_bps : float;
+  latency_s : float;
+}
+
+type t
+
+val nodes : t -> int
+val edge_count : t -> int
+
+val neighbors : t -> int -> (int * link) list
+(** Adjacent nodes of a vertex with the connecting links. *)
+
+val default_link : link
+(** The paper's 2 Mbps / 50 ms link. *)
+
+val of_edges : nodes:int -> ?link:link -> (int * int) list -> t
+(** Build a topology from an undirected edge list (uniform links).
+    @raise Invalid_argument if disconnected or an edge is out of range. *)
+
+val random_connected :
+  Ppgr_rng.Rng.t -> nodes:int -> edges:int -> ?link:link -> unit -> t
+(** Delete random non-disconnecting edges from the complete graph until
+    [edges] remain.  @raise Invalid_argument if [edges < nodes - 1]. *)
+
+val routing : t -> int array array
+(** All-pairs first-hop table by BFS: [next.(u).(v)] is the first hop
+    from [u] towards [v] ([-1] on the diagonal). *)
+
+val path : next:int array array -> src:int -> dst:int -> int list
+(** Node sequence from [src] to [dst], excluding [src].
+    @raise Invalid_argument if unreachable. *)
+
+val link_between : t -> int -> int -> link
+(** @raise Invalid_argument if the nodes are not adjacent. *)

@@ -1,0 +1,1 @@
+lib/paillier/paillier.ml: Bigint Ppgr_bigint Ppgr_rng Prime Rng

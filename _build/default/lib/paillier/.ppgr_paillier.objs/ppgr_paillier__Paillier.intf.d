@@ -1,0 +1,1 @@
+lib/paillier/paillier.mli: Bigint Ppgr_bigint Ppgr_rng

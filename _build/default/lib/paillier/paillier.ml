@@ -1,0 +1,70 @@
+open Ppgr_bigint
+open Ppgr_rng
+
+type pubkey = {
+  n : Bigint.t;
+  n2 : Bigint.t;
+}
+
+type seckey = {
+  pk : pubkey;
+  lambda : Bigint.t; (* lcm(p-1, q-1) *)
+  mu : Bigint.t; (* lambda^{-1} mod n *)
+}
+
+let lcm a b = Bigint.div (Bigint.mul a b) (Bigint.gcd a b)
+
+let keygen rng ~bits =
+  if bits < 16 then invalid_arg "Paillier.keygen: modulus too small";
+  let rand = Rng.as_prime_rand rng in
+  let half = bits / 2 in
+  let rec pick () =
+    let p = Prime.random_prime rand ~bits:half in
+    let q = Prime.random_prime rand ~bits:(bits - half) in
+    if Bigint.equal p q then pick ()
+    else begin
+      let n = Bigint.mul p q in
+      (* gcd(n, (p-1)(q-1)) = 1 holds for distinct primes of equal
+         size; guard anyway. *)
+      let phi = Bigint.mul (Bigint.pred p) (Bigint.pred q) in
+      if not (Bigint.equal (Bigint.gcd n phi) Bigint.one) then pick ()
+      else (p, q, n)
+    end
+  in
+  let p, q, n = pick () in
+  let pk = { n; n2 = Bigint.mul n n } in
+  let lambda = lcm (Bigint.pred p) (Bigint.pred q) in
+  let mu = Bigint.invmod lambda n in
+  ({ pk; lambda; mu }, pk)
+
+let pubkey_of sk = sk.pk
+
+(* (1 + n)^m = 1 + m n (mod n^2): the binomial theorem collapses. *)
+let g_pow_m pk m =
+  Bigint.erem (Bigint.succ (Bigint.mul m pk.n)) pk.n2
+
+let random_unit rng pk =
+  let rec go () =
+    let r = Rng.bigint_below rng pk.n in
+    if Bigint.equal (Bigint.gcd r pk.n) Bigint.one && not (Bigint.is_zero r) then r
+    else go ()
+  in
+  go ()
+
+let encrypt rng pk m =
+  let m = Bigint.erem m pk.n in
+  let r = random_unit rng pk in
+  Bigint.erem (Bigint.mul (g_pow_m pk m) (Bigint.powmod r pk.n pk.n2)) pk.n2
+
+let l_function pk u = Bigint.div (Bigint.pred u) pk.n
+
+let decrypt sk c =
+  let pk = sk.pk in
+  let u = Bigint.powmod c sk.lambda pk.n2 in
+  Bigint.erem (Bigint.mul (l_function pk u) sk.mu) pk.n
+
+let add pk a b = Bigint.erem (Bigint.mul a b) pk.n2
+let add_clear pk a k = Bigint.erem (Bigint.mul a (g_pow_m pk (Bigint.erem k pk.n))) pk.n2
+let scale pk a k = Bigint.powmod a (Bigint.erem k pk.n) pk.n2
+let neg pk a = Bigint.invmod a pk.n2
+let rerandomize rng pk a = add pk a (encrypt rng pk Bigint.zero)

@@ -1,0 +1,53 @@
+(** The Paillier cryptosystem (additively homomorphic public-key
+    encryption over [Z_{n^2}]), cited by the paper (§II, [10]) as the
+    classic partially homomorphic alternative to exponential ElGamal.
+
+    Unlike exponential ElGamal, decryption recovers the full plaintext
+    (no discrete logarithm needed), so it suits protocols that must read
+    homomorphic sums.  It is {e not} a drop-in for the paper's phase 2:
+    the unlinkable comparison depends on ElGamal's trivially distributed
+    key generation ([y = Π y_i]) and component-wise partial decryption,
+    which Paillier lacks without heavyweight threshold machinery —
+    exactly the §II discussion.  Provided as a substrate with the same
+    homomorphic API shape, plus tests and a bench micro-entry.
+
+    Textbook scheme (g = n + 1 simplification):
+    - keygen: [n = p q] for primes p, q; [λ = lcm(p-1, q-1)];
+      [μ = λ^{-1} mod n].
+    - enc(m): [c = (1 + n)^m r^n mod n^2] for random [r ∈ Z_n^*].
+    - dec(c): [m = L(c^λ mod n^2) · μ mod n] with [L(u) = (u - 1)/n]. *)
+
+open Ppgr_bigint
+
+type pubkey = {
+  n : Bigint.t;
+  n2 : Bigint.t; (* n^2 *)
+}
+
+type seckey
+
+val keygen : Ppgr_rng.Rng.t -> bits:int -> seckey * pubkey
+(** [bits] is the size of the modulus [n] (each prime is [bits/2]).
+    @raise Invalid_argument for [bits < 16]. *)
+
+val pubkey_of : seckey -> pubkey
+
+val encrypt : Ppgr_rng.Rng.t -> pubkey -> Bigint.t -> Bigint.t
+(** Plaintext is reduced modulo [n].  Ciphertexts are elements of
+    [Z_{n^2}]. *)
+
+val decrypt : seckey -> Bigint.t -> Bigint.t
+
+val add : pubkey -> Bigint.t -> Bigint.t -> Bigint.t
+(** [E(a) -> E(b) -> E(a + b mod n)]: ciphertext multiplication. *)
+
+val add_clear : pubkey -> Bigint.t -> Bigint.t -> Bigint.t
+(** [E(a) -> k -> E(a + k mod n)]. *)
+
+val scale : pubkey -> Bigint.t -> Bigint.t -> Bigint.t
+(** [E(a) -> k -> E(k a mod n)]: ciphertext exponentiation. *)
+
+val neg : pubkey -> Bigint.t -> Bigint.t
+
+val rerandomize : Ppgr_rng.Rng.t -> pubkey -> Bigint.t -> Bigint.t
+(** Multiply by a fresh encryption of zero. *)

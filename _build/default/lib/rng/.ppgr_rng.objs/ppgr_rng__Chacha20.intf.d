@@ -1,0 +1,1 @@
+lib/rng/chacha20.mli: Bytes

@@ -1,0 +1,1 @@
+lib/rng/rng.ml: Array Bigint Bytes Chacha20 Char Ppgr_bigint Ppgr_hash Prime Sha256

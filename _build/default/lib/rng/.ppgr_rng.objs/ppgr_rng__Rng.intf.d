@@ -1,0 +1,1 @@
+lib/rng/rng.mli: Bigint Bytes Ppgr_bigint Prime

@@ -1,0 +1,58 @@
+(* ChaCha20 over 32-bit words emulated in native ints. *)
+
+let m32 = 0xFFFFFFFF
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land m32
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let word_le b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let block ~key ~nonce ~counter =
+  if Bytes.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if Bytes.length nonce <> 12 then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  if counter < 0 then invalid_arg "Chacha20.block: negative counter";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- word_le key (4 * i)
+  done;
+  st.(12) <- counter land m32;
+  for i = 0 to 2 do
+    st.(13 + i) <- word_le nonce (4 * i)
+  done;
+  let init = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = (st.(i) + init.(i)) land m32 in
+    Bytes.set out (4 * i) (Char.chr (v land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xFF))
+  done;
+  out

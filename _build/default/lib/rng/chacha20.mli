@@ -1,0 +1,8 @@
+(** ChaCha20 block function (RFC 8439) used as a pseudorandom generator.
+
+    Only the keystream is needed here (no encryption API): given a 32-byte
+    key and a 12-byte nonce, [block] produces the 64-byte keystream block
+    at a given counter. *)
+
+val block : key:Bytes.t -> nonce:Bytes.t -> counter:int -> Bytes.t
+(** @raise Invalid_argument on wrong key/nonce sizes. *)

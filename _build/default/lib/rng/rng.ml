@@ -1,0 +1,144 @@
+open Ppgr_bigint
+open Ppgr_hash
+
+type t = {
+  key : Bytes.t;
+  nonce : Bytes.t;
+  mutable counter : int;
+  mutable buf : Bytes.t;
+  mutable pos : int;
+}
+
+let of_key key =
+  if Bytes.length key <> 32 then invalid_arg "Rng.of_key: key must be 32 bytes";
+  {
+    key = Bytes.copy key;
+    nonce = Bytes.make 12 '\000';
+    counter = 0;
+    buf = Bytes.create 0;
+    pos = 0;
+  }
+
+let create ~seed = of_key (Sha256.digest_string seed)
+
+let refill t =
+  t.buf <- Chacha20.block ~key:t.key ~nonce:t.nonce ~counter:t.counter;
+  t.counter <- t.counter + 1;
+  t.pos <- 0
+
+let byte t =
+  if t.pos >= Bytes.length t.buf then refill t;
+  let v = Char.code (Bytes.get t.buf t.pos) in
+  t.pos <- t.pos + 1;
+  v
+
+let bytes t n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (Char.chr (byte t))
+  done;
+  out
+
+let split t ~label =
+  (* Key the child off the parent's key and the label; independent of the
+     parent's stream position so splitting is order-insensitive. *)
+  let child_key = Sha256.hmac ~key:t.key (Bytes.of_string ("split:" ^ label)) in
+  of_key child_key
+
+let bool t = byte t land 1 = 1
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  if bound = 1 then 0
+  else begin
+    (* Rejection sampling over the smallest covering power of 256. *)
+    let rec nbytes b acc = if b = 0 then acc else nbytes (b lsr 8) (acc + 1) in
+    let k = nbytes (bound - 1) 0 in
+    let limit = 1 lsl (8 * k) in
+    let cutoff = limit - (limit mod bound) in
+    let rec go () =
+      let v = ref 0 in
+      for _ = 1 to k do
+        v := (!v lsl 8) lor byte t
+      done;
+      if !v < cutoff then !v mod bound else go ()
+    in
+    go ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: empty range";
+  lo + int_below t (hi - lo + 1)
+
+let bigint_bits t bits =
+  if bits < 0 then invalid_arg "Rng.bigint_bits: negative";
+  if bits = 0 then Bigint.zero
+  else begin
+    let nb = (bits + 7) / 8 in
+    let b = bytes t nb in
+    (* Mask excess top bits. *)
+    let excess = (8 * nb) - bits in
+    if excess > 0 then begin
+      let top = Char.code (Bytes.get b 0) land (0xFF lsr excess) in
+      Bytes.set b 0 (Char.chr top)
+    end;
+    Bigint.of_bytes_be b
+  end
+
+let bigint_below t bound =
+  if Bigint.sign bound <= 0 then invalid_arg "Rng.bigint_below: bound must be positive";
+  let bits = Bigint.numbits bound in
+  let rec go () =
+    let v = bigint_bits t bits in
+    if Bigint.compare v bound < 0 then v else go ()
+  in
+  go ()
+
+let bigint_in_range t ~lo ~hi =
+  if Bigint.compare hi lo < 0 then invalid_arg "Rng.bigint_in_range: empty range";
+  Bigint.add lo (bigint_below t (Bigint.succ (Bigint.sub hi lo)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int_below t (Array.length a))
+
+let as_prime_rand t : Prime.rand = fun bound -> bigint_below t bound
+
+module Splitmix = struct
+  (* SplitMix64 adapted to OCaml's 63-bit ints: state evolves with the
+     standard 64-bit constants truncated into the native word; outputs are
+     folded to 62 bits.  Statistical quality is ample for simulation. *)
+  type state = { mutable s : int }
+
+  let create seed = { s = seed land max_int }
+
+  let gamma = 0x1E3779B97F4A7C15 (* 64-bit constants with the top bit dropped to fit native int *)
+
+  let next st =
+    st.s <- (st.s + gamma) land max_int;
+    let z = st.s in
+    let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+    let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+    (z lxor (z lsr 31)) land ((1 lsl 62) - 1)
+
+  let int_below st bound =
+    if bound <= 0 then invalid_arg "Splitmix.int_below: bound must be positive";
+    next st mod bound
+
+  (* Use 53 bits so the quotient is exact in a double and strictly
+     below 1 (62-bit values near the top would round up to 1.0). *)
+  let float st = float_of_int (next st lsr 9) /. float_of_int (1 lsl 53)
+end

@@ -1,0 +1,75 @@
+(** Deterministic random number generation.
+
+    Two generators:
+
+    - {!t}: a ChaCha20-keystream CSPRNG, seeded from a string or bytes
+      (through SHA-256), suitable for all cryptographic sampling in the
+      protocols.  Deterministic: the same seed yields the same stream,
+      which the security-game harnesses and tests rely on.
+    - {!Splitmix}: SplitMix64, a tiny fast non-cryptographic generator for
+      simulation noise (network topologies, workload synthesis).
+
+    Generators are mutable and single-owner; use {!split} to derive an
+    independent stream for a sub-component. *)
+
+open Ppgr_bigint
+
+type t
+
+val create : seed:string -> t
+(** Seed through SHA-256 of the given string. *)
+
+val of_key : Bytes.t -> t
+(** Seed from a raw 32-byte key. *)
+
+val split : t -> label:string -> t
+(** Derive an independent generator; streams for distinct labels are
+    independent, and splitting does not disturb the parent stream. *)
+
+val bytes : t -> int -> Bytes.t
+(** Next [n] bytes of the stream. *)
+
+val byte : t -> int
+val bool : t -> bool
+
+val int_below : t -> int -> int
+(** Uniform in [[0, bound)]; [bound >= 1]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in [[lo, hi]] inclusive. *)
+
+val bigint_bits : t -> int -> Bigint.t
+(** Uniform in [[0, 2^bits)]. *)
+
+val bigint_below : t -> Bigint.t -> Bigint.t
+(** Uniform in [[0, bound)] by rejection; [bound >= 1]. *)
+
+val bigint_in_range : t -> lo:Bigint.t -> hi:Bigint.t -> Bigint.t
+(** Uniform in [[lo, hi]] inclusive. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** A uniform permutation of [0 .. n-1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+(** {1 Bigint compatibility} *)
+
+val as_prime_rand : t -> Prime.rand
+(** Adapter for the {!Prime} API. *)
+
+(** SplitMix64: fast non-cryptographic generator for simulations. *)
+module Splitmix : sig
+  type state
+
+  val create : int -> state
+  val next : state -> int
+  (** 62-bit non-negative value. *)
+
+  val int_below : state -> int -> int
+  val float : state -> float
+  (** Uniform in [[0, 1)]. *)
+end

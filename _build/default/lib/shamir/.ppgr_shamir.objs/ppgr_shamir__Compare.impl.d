@@ -1,0 +1,1 @@
+lib/shamir/compare.ml: Array Bigint Engine List Ppgr_bigint Ppgr_dotprod Zfield

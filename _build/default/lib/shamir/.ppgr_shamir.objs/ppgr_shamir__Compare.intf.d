@@ -1,0 +1,1 @@
+lib/shamir/compare.mli: Engine

@@ -1,0 +1,1 @@
+lib/shamir/engine.ml: Array Bigint List Ppgr_bigint Ppgr_dotprod Ppgr_rng Rng Shamir Zfield

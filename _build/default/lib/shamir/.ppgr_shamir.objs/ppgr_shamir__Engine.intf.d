@@ -1,0 +1,1 @@
+lib/shamir/engine.mli: Bigint Ppgr_bigint Ppgr_dotprod Ppgr_rng Zfield

@@ -1,0 +1,1 @@
+lib/shamir/shamir.ml: Array Bigint List Ppgr_bigint Ppgr_dotprod Ppgr_rng Zfield

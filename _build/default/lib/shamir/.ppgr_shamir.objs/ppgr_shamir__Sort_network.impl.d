@@ -1,0 +1,1 @@
+lib/shamir/sort_network.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/shamir/sort_network.mli:

@@ -1,0 +1,1 @@
+lib/shamir/ss_sort.ml: Array Compare Engine List Ppgr_bigint Sort_network

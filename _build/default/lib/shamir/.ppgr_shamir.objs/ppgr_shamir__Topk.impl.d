@@ -1,0 +1,1 @@
+lib/shamir/topk.ml: Array Bigint Compare Engine List Ppgr_bigint

@@ -1,0 +1,271 @@
+(** A synchronous-lockstep simulator of [n]-party Shamir-based MPC.
+
+    A {!shared} value is the vector of all parties' shares (index [i] =
+    party [i+1]'s share); the engine executes each sub-protocol for every
+    party and keeps the cost ledger the evaluation reads:
+
+    - [mults]: invocations of the multiplication protocol (the unit of
+      the paper's SS cost analysis);
+    - [rounds]: communication rounds, counting parallel multiplications
+      batched by {!mul_batch} as one round;
+    - [field_elements_sent]: total field elements put on the wire;
+    - the underlying field's own multiplication counter gives per-run
+      local computation (divide by [n] for a per-party figure).
+
+    Degree reduction after multiplication follows Gennaro–Rabin–Rabin:
+    each party reshares its local product with a fresh degree-[t]
+    polynomial and the new share is the Lagrange-weighted sum of the
+    subshares, so the engine requires [n >= 2t + 1]. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_dotprod
+
+type t = {
+  f : Zfield.t;
+  n : int;
+  th : int; (* polynomial degree t; tolerates t colluders *)
+  rng : Rng.t;
+  lagrange_all : Bigint.t array; (* weights at 0 for points 1..n *)
+  mutable mults : int;
+  mutable rounds : int;
+  mutable field_elements_sent : int;
+  mutable opens : int;
+  mutable randoms : int;
+}
+
+type shared = Bigint.t array (* length n *)
+
+let create ?(threshold = `Max_colluders) rng f ~n =
+  let th =
+    match threshold with
+    | `Max_colluders -> (n - 1) / 2 (* largest t with n >= 2t + 1 *)
+    | `Fixed t -> t
+  in
+  if n < (2 * th) + 1 then invalid_arg "Engine.create: need n >= 2t + 1";
+  {
+    f;
+    n;
+    th;
+    rng;
+    lagrange_all = Shamir.lagrange_weights_at_zero f (Array.init n (fun i -> i + 1));
+    mults = 0;
+    rounds = 0;
+    field_elements_sent = 0;
+    opens = 0;
+    randoms = 0;
+  }
+
+let field e = e.f
+let parties e = e.n
+let threshold e = e.th
+
+type costs = {
+  c_mults : int;
+  c_rounds : int;
+  c_elements : int;
+  c_opens : int;
+  c_randoms : int;
+  c_field_mults : int;
+}
+
+let costs e =
+  {
+    c_mults = e.mults;
+    c_rounds = e.rounds;
+    c_elements = e.field_elements_sent;
+    c_opens = e.opens;
+    c_randoms = e.randoms;
+    c_field_mults = Zfield.mult_count e.f;
+  }
+
+let reset_costs e =
+  e.mults <- 0;
+  e.rounds <- 0;
+  e.field_elements_sent <- 0;
+  e.opens <- 0;
+  e.randoms <- 0;
+  Zfield.reset_mult_count e.f
+
+(** {1 Linear (communication-free) operations} *)
+
+let of_public e v : shared =
+  (* Shares of a public constant: the constant polynomial. *)
+  Array.make e.n (Zfield.reduce e.f v)
+
+let add e (a : shared) b : shared = Array.map2 (Zfield.add e.f) a b
+let sub e (a : shared) b : shared = Array.map2 (Zfield.sub e.f) a b
+let add_public e (a : shared) v = Array.map (fun s -> Zfield.add e.f s (Zfield.reduce e.f v)) a
+let scale e k (a : shared) : shared = Array.map (Zfield.mul e.f k) a
+let neg e (a : shared) : shared = Array.map (Zfield.neg e.f) a
+
+(** {1 Interactive operations} *)
+
+(** A party shares a private input with the others (1 round, n-1
+    elements). *)
+let input e v : shared =
+  e.rounds <- e.rounds + 1;
+  e.field_elements_sent <- e.field_elements_sent + (e.n - 1);
+  Shamir.share e.rng e.f ~t:e.th ~n:e.n v
+
+(** Open a shared value to all parties (1 round; every party broadcasts
+    its share). *)
+let open_ e (a : shared) =
+  e.rounds <- e.rounds + 1;
+  e.opens <- e.opens + 1;
+  e.field_elements_sent <- e.field_elements_sent + (e.n * (e.n - 1));
+  Shamir.reconstruct e.f (Array.init e.n (fun i -> (i + 1, a.(i))))
+
+(* GRR degree reduction for a batch of products computed in lockstep:
+   counting the batch as a single communication round models parallel
+   multiplication, which the sorting network exploits. *)
+let mul_batch e (pairs : (shared * shared) list) : shared list =
+  match pairs with
+  | [] -> []
+  | _ ->
+      e.rounds <- e.rounds + 1;
+      List.map
+        (fun (a, b) ->
+          e.mults <- e.mults + 1;
+          e.field_elements_sent <- e.field_elements_sent + (e.n * (e.n - 1));
+          (* Party i reshares its local product a_i * b_i. *)
+          let subshares =
+            Array.init e.n (fun i ->
+                Shamir.share e.rng e.f ~t:e.th ~n:e.n
+                  (Zfield.mul e.f a.(i) b.(i)))
+          in
+          (* New share of party j: sum_i lambda_i * subshare_{i->j}. *)
+          Array.init e.n (fun j ->
+              let acc = ref Bigint.zero in
+              for i = 0 to e.n - 1 do
+                acc :=
+                  Zfield.add e.f !acc
+                    (Zfield.mul e.f e.lagrange_all.(i) subshares.(i).(j))
+              done;
+              !acc))
+        pairs
+
+let mul e a b =
+  match mul_batch e [ (a, b) ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+(** Jointly generated uniformly random shared value (every party
+    contributes a sharing; 1 round). *)
+let random e : shared =
+  e.rounds <- e.rounds + 1;
+  e.randoms <- e.randoms + 1;
+  e.field_elements_sent <- e.field_elements_sent + (e.n * (e.n - 1));
+  let contributions =
+    Array.init e.n (fun _ -> Shamir.share e.rng e.f ~t:e.th ~n:e.n (Zfield.random e.rng e.f))
+  in
+  Array.init e.n (fun j ->
+      let acc = ref Bigint.zero in
+      for i = 0 to e.n - 1 do
+        acc := Zfield.add e.f !acc contributions.(i).(j)
+      done;
+      !acc)
+
+(** Open many shared values in a single round. *)
+let open_batch e (vs : shared list) =
+  match vs with
+  | [] -> []
+  | _ ->
+      e.rounds <- e.rounds + 1;
+      e.opens <- e.opens + List.length vs;
+      e.field_elements_sent <-
+        e.field_elements_sent + (List.length vs * e.n * (e.n - 1));
+      List.map
+        (fun (a : shared) ->
+          Shamir.reconstruct e.f (Array.init e.n (fun i -> (i + 1, a.(i)))))
+        vs
+
+(** [k] jointly random shared values in a single round. *)
+let random_batch e k : shared array =
+  if k = 0 then [||]
+  else begin
+    e.rounds <- e.rounds + 1;
+    e.randoms <- e.randoms + k;
+    e.field_elements_sent <- e.field_elements_sent + (k * e.n * (e.n - 1));
+    Array.init k (fun _ ->
+        let contributions =
+          Array.init e.n (fun _ ->
+              Shamir.share e.rng e.f ~t:e.th ~n:e.n (Zfield.random e.rng e.f))
+        in
+        Array.init e.n (fun j ->
+            let acc = ref Bigint.zero in
+            for i = 0 to e.n - 1 do
+              acc := Zfield.add e.f !acc contributions.(i).(j)
+            done;
+            !acc))
+  end
+
+(* Square root in the field with public input, for random-bit generation:
+   returns the canonical root <= (p-1)/2. *)
+let sqrt_public e v =
+  match Ppgr_bigint.Prime.sqrt_mod (fun b -> Rng.bigint_below e.rng b) v ~p:(Zfield.modulus e.f) with
+  | None -> None
+  | Some r ->
+      let r' = Zfield.neg e.f r in
+      Some (if Bigint.compare r r' <= 0 then r else r')
+
+(** Jointly generated random shared bit (Damgård et al.): sample [r],
+    open [r^2], retry on 0, and output [(r / sqrt(r^2) + 1) / 2]. *)
+let rec random_bit e : shared =
+  let r = random e in
+  let r2 = open_ e (mul e r r) in
+  if Bigint.is_zero r2 then random_bit e
+  else begin
+    match sqrt_public e r2 with
+    | None -> assert false (* r^2 is always a residue *)
+    | Some root ->
+        let vinv = Zfield.inv e.f root in
+        let half = Zfield.inv e.f (Zfield.of_int e.f 2) in
+        (* b = (r * vinv + 1) * half: linear in the shares of r. *)
+        let scaled = scale e vinv r in
+        let plus1 = add_public e scaled Bigint.one in
+        scale e half plus1
+  end
+
+(** [k] random shared bits generated with batched rounds: one round of
+    joint randomness, one of multiplications, one of openings (plus rare
+    retries for candidates whose square opened to 0). *)
+let random_bit_batch e k : shared array =
+  let out = Array.make k (of_public e Bigint.zero) in
+  let half = Zfield.inv e.f (Zfield.of_int e.f 2) in
+  let rec fill needed_idx =
+    (* Indexes in [out] still awaiting a bit. *)
+    match needed_idx with
+    | [] -> ()
+    | _ ->
+        let k' = List.length needed_idx in
+        let rs = random_batch e k' in
+        let squares = mul_batch e (Array.to_list (Array.map (fun r -> (r, r)) rs)) in
+        let opened = open_batch e squares in
+        let remaining = ref [] in
+        List.iteri
+          (fun i (idx, r2) ->
+            if Bigint.is_zero r2 then remaining := idx :: !remaining
+            else begin
+              match sqrt_public e r2 with
+              | None -> assert false (* squares are residues *)
+              | Some root ->
+                  let vinv = Zfield.inv e.f root in
+                  out.(idx) <-
+                    scale e half (add_public e (scale e vinv rs.(i)) Bigint.one)
+            end)
+          (List.combine needed_idx opened);
+        fill (List.rev !remaining)
+  in
+  fill (List.init k (fun i -> i));
+  out
+
+(** [nbits] independent random shared bits, with their weighted value
+    [Σ 2^i b_i] (free given the bits). *)
+let random_bits e nbits : shared array * shared =
+  let bits = random_bit_batch e nbits in
+  let value = ref (of_public e Bigint.zero) in
+  for i = nbits - 1 downto 0 do
+    value := add e (scale e (Bigint.of_int 2) !value) bits.(i)
+  done;
+  (bits, !value)

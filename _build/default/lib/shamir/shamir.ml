@@ -1,0 +1,55 @@
+(** (t, n) Shamir secret sharing over a prime field.
+
+    A secret [s] is hidden as the constant term of a random degree-[t]
+    polynomial; party [i] (1-indexed) holds the evaluation at [x = i].
+    Any [t+1] shares reconstruct [s] by Lagrange interpolation at 0; [t]
+    shares reveal nothing.  The multiplication protocol of the MPC engine
+    needs [n >= 2t + 1]. *)
+
+open Ppgr_bigint
+open Ppgr_dotprod
+
+(* Evaluate a polynomial (coefficient list, constant first) at [x]. *)
+let poly_eval f coeffs x =
+  List.fold_right
+    (fun c acc -> Zfield.add f c (Zfield.mul f x acc))
+    coeffs Bigint.zero
+
+(** [share rng f ~t ~n s] returns [n] shares, index [i] belonging to
+    party [i+1] (evaluation point [i+1]). *)
+let share (rng : Ppgr_rng.Rng.t) f ~t ~n secret =
+  if t < 0 || n < t + 1 then invalid_arg "Shamir.share: need n >= t + 1";
+  let coeffs = Zfield.reduce f secret :: List.init t (fun _ -> Zfield.random rng f) in
+  Array.init n (fun i -> poly_eval f coeffs (Bigint.of_int (i + 1)))
+
+(** Lagrange weights at 0 for evaluation points [ids] (1-indexed party
+    numbers): [w_i = Π_{j≠i} x_j / (x_j - x_i)]. *)
+let lagrange_weights_at_zero f ids =
+  let xs = Array.map (fun id -> Zfield.of_int f id) ids in
+  Array.mapi
+    (fun i xi ->
+      let num = ref Bigint.one and den = ref Bigint.one in
+      Array.iteri
+        (fun j xj ->
+          if j <> i then begin
+            num := Zfield.mul f !num xj;
+            den := Zfield.mul f !den (Zfield.sub f xj xi)
+          end)
+        xs;
+      Zfield.div f !num !den)
+    xs
+
+(** Reconstruct from (party-id, share) pairs; needs at least [t+1] of
+    them and interpolates through all provided points. *)
+let reconstruct f points =
+  let ids = Array.map fst points in
+  let ws = lagrange_weights_at_zero f ids in
+  let acc = ref Bigint.zero in
+  Array.iteri
+    (fun i (_, s) -> acc := Zfield.add f !acc (Zfield.mul f ws.(i) s))
+    points;
+  !acc
+
+(** Reconstruct taking the first [t+1] of a full share vector. *)
+let reconstruct_first f ~t shares =
+  reconstruct f (Array.init (t + 1) (fun i -> (i + 1, shares.(i))))

@@ -1,0 +1,77 @@
+(** Batcher odd-even merge sorting networks.
+
+    Jónsson et al. [3] sort secret-shared values by pushing a comparison
+    protocol through a data-independent sorting network that is "a
+    variant of the merge sort algorithm" with O(n log^2 n) comparators —
+    exactly Batcher's odd-even mergesort, which we generate here.
+
+    A network is a list of {e layers}; comparators within a layer touch
+    disjoint wires and can run in one communication round.  For arbitrary
+    [n] we generate the power-of-two network and drop comparators that
+    touch wires beyond [n-1]: conceptually those wires carry +infinity
+    pads, which an ascending network never moves. *)
+
+type comparator = int * int (* (i, j) with i < j: sort so wire i <= wire j *)
+type layer = comparator list
+type network = layer list
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* The classic iterative formulation of Batcher's odd-even mergesort for
+   [m] a power of two, already organized into parallel layers. *)
+let generate_pow2 m : network =
+  let layers = ref [] in
+  let p = ref 1 in
+  while !p < m do
+    let k = ref !p in
+    while !k >= 1 do
+      let layer = ref [] in
+      let j = ref (!k mod !p) in
+      while !j <= m - 1 - !k do
+        for i = 0 to Stdlib.min (!k - 1) (m - !j - !k - 1) do
+          if (!j + i) / (2 * !p) = (!j + i + !k) / (2 * !p) then
+            layer := (!j + i, !j + i + !k) :: !layer
+        done;
+        j := !j + (2 * !k)
+      done;
+      if !layer <> [] then layers := List.rev !layer :: !layers;
+      k := !k / 2
+    done;
+    p := 2 * !p
+  done;
+  List.rev !layers
+
+let generate n : network =
+  if n <= 1 then []
+  else begin
+    let m = next_pow2 n in
+    generate_pow2 m
+    |> List.filter_map (fun layer ->
+           match List.filter (fun (_, j) -> j < n) layer with
+           | [] -> None
+           | l -> Some l)
+  end
+
+let comparator_count (net : network) =
+  List.fold_left (fun acc layer -> acc + List.length layer) 0 net
+
+let depth (net : network) = List.length net
+
+(** Run the network on a plain array with an arbitrary order (used by
+    tests, and to validate networks via the 0-1 principle). *)
+let apply_plain (net : network) ~compare (a : 'a array) =
+  let a = Array.copy a in
+  List.iter
+    (fun layer ->
+      List.iter
+        (fun (i, j) ->
+          if compare a.(i) a.(j) > 0 then begin
+            let tmp = a.(i) in
+            a.(i) <- a.(j);
+            a.(j) <- tmp
+          end)
+        layer)
+    net;
+  a

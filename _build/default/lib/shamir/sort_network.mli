@@ -1,0 +1,21 @@
+(** Batcher odd-even merge sorting networks — the data-independent
+    comparator schedule behind the Jónsson et al. baseline
+    (O(n log^2 n) comparators, "a variant of the merge sort"). *)
+
+type comparator = int * int
+(** [(i, j)] with [i < j]: sort so that wire [i] <= wire [j]. *)
+
+type layer = comparator list
+(** Comparators touching disjoint wires; one communication round. *)
+
+type network = layer list
+
+val generate : int -> network
+(** Sorting network for any [n] (power-of-two network with comparators
+    beyond wire [n-1] dropped; conceptually +infinity pads). *)
+
+val comparator_count : network -> int
+val depth : network -> int
+
+val apply_plain : network -> compare:('a -> 'a -> int) -> 'a array -> 'a array
+(** Run on a plain array (tests; 0-1-principle validation). *)

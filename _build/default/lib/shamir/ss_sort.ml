@@ -1,0 +1,65 @@
+(** Secret-shared sorting (the Jónsson et al. baseline, [3]): Batcher's
+    network with an oblivious compare-exchange at every comparator.
+
+    A comparator on shares [x, y] computes [b = [x >= y]] with the
+    {!Compare} primitive, then
+    [lo = y + b (x - y) ... ] — concretely [hi' = x + y - lo] — using one
+    extra multiplication, leaving the wires sorted ascending without
+    anyone learning [b]. *)
+
+
+type costs = Engine.costs
+
+(** Sort an array of shared [l]-bit values ascending.  Comparators in
+    the same network layer share communication rounds (their
+    multiplications are batched). *)
+let sort e prm (values : Engine.shared array) : Engine.shared array =
+  let a = Array.copy values in
+  let net = Sort_network.generate (Array.length a) in
+  List.iter
+    (fun layer ->
+      (* Comparisons of one layer run in parallel. *)
+      let bits =
+        List.map (fun (i, j) -> Compare.ge e prm a.(i) a.(j)) layer
+      in
+      (* lo = x - b (x - y); hi = y + b (x - y). *)
+      let diffs =
+        List.map2
+          (fun (i, j) b -> (b, Engine.sub e a.(i) a.(j)))
+          layer bits
+      in
+      let prods = Engine.mul_batch e diffs in
+      List.iter2
+        (fun (i, j) p ->
+          let lo = Engine.sub e a.(i) p in
+          let hi = Engine.add e a.(j) p in
+          a.(i) <- lo;
+          a.(j) <- hi)
+        layer prods)
+    net;
+  a
+
+(** The full baseline sorting protocol for ranking: every party inputs a
+    private value; the sorted sequence is opened; each party reads off
+    the rank of its own input.  Ranks are 1-based in non-increasing
+    order (rank 1 = largest), ties broken arbitrarily, to match the
+    framework's ranking convention. *)
+let rank_via_sort e prm (inputs : Ppgr_bigint.Bigint.t array) : int array =
+  let shared = Array.map (Engine.input e) inputs in
+  let sorted = sort e prm shared in
+  let opened = Array.map (Engine.open_ e) sorted in
+  (* opened is ascending; rank of v = n - (index of v) counting from the
+     end, consuming duplicates so equal gains get distinct slots. *)
+  let n = Array.length inputs in
+  let used = Array.make n false in
+  Array.map
+    (fun v ->
+      let rec find i =
+        if i < 0 then invalid_arg "rank_via_sort: value missing from sorted output"
+        else if (not used.(i)) && Ppgr_bigint.Bigint.equal opened.(i) v then i
+        else find (i - 1)
+      in
+      let idx = find (n - 1) in
+      used.(idx) <- true;
+      n - idx)
+    inputs

@@ -1,0 +1,75 @@
+(** Probabilistic secret-shared top-k selection, after Burkhart and
+    Dimitropoulos [4] ("Fast privacy-preserving top-k queries using
+    secret sharing", ICCCN 2010), the second baseline the paper's
+    related-work section discusses.
+
+    Instead of sorting, the parties binary-search the value domain: for
+    a public threshold [T] they compute and open
+    [count(T) = Σ_i [x_i >= T]] — one parallel comparison per input —
+    and narrow [T] until exactly [k] values clear it, then open the
+    [k] membership bits.  The cost is [O(n l)] comparisons (linear in
+    [n]) against the sorting network's [O(n log^2 n)]: the probing
+    approach pulls ahead once [log^2 n] outgrows [l], i.e. for large
+    groups, which is the regime [4] targets.
+
+    The trade-offs match the paper's characterization of [4]:
+
+    - {e probabilistic termination}: if more than [k] inputs tie at the
+      cut value there is no threshold selecting exactly [k]; the search
+      exhausts the domain and reports [`Tie_at_cut] ("cannot be
+      guaranteed to terminate with a correct result every time");
+    - {e leakage}: the opened counts reveal how many inputs lie in each
+      probed interval, strictly more than the ranking framework
+      reveals.  This is a baseline, not a privacy-preserving
+      replacement. *)
+
+open Ppgr_bigint
+
+type outcome =
+  | Top_k of int list (* input indices whose values clear the cut *)
+  | Tie_at_cut of int list * int
+      (* more than k values >= cut: the indices found and the cut count *)
+
+(* Shares of count(T) = Σ_i [x_i >= T] for a public threshold T. *)
+let count_ge e prm (values : Engine.shared array) threshold =
+  let shared_t = Engine.of_public e threshold in
+  let bits =
+    Array.map (fun v -> Compare.ge e prm v shared_t) values
+  in
+  Array.fold_left (Engine.add e) (Engine.of_public e Bigint.zero) bits
+
+(* Open the membership bits for the final threshold. *)
+let members e prm (values : Engine.shared array) threshold =
+  let shared_t = Engine.of_public e threshold in
+  let bits =
+    Array.to_list (Array.map (fun v -> Compare.ge e prm v shared_t) values)
+  in
+  let opened = Engine.open_batch e bits in
+  List.concat
+    (List.mapi (fun i b -> if Bigint.equal b Bigint.one then [ i ] else []) opened)
+
+let top_k e prm ~k (values : Engine.shared array) : outcome =
+  let n = Array.length values in
+  if k < 1 || k > n then invalid_arg "Topk.top_k: k out of range";
+  let open_count t = Engine.open_ e (count_ge e prm values t) in
+  (* Invariant: count(lo) >= k and count(hi) < k; the cut is in (lo, hi).
+     lo = 0 qualifies everything; hi = 2^l exceeds every input. *)
+  let rec search lo hi =
+    (* lo < hi - 1 means the interval still contains candidate cuts. *)
+    if Bigint.compare (Bigint.sub hi lo) Bigint.one <= 0 then begin
+      (* Cut converged to lo: the inputs >= lo are the answer if they
+         number exactly k; otherwise a tie straddles the cut. *)
+      let idx = members e prm values lo in
+      if List.length idx = k then Top_k idx else Tie_at_cut (idx, List.length idx)
+    end
+    else begin
+      let mid = Bigint.shift_right (Bigint.add lo hi) 1 in
+      let c = Bigint.to_int_exn (open_count mid) in
+      if c >= k then search mid hi else search lo mid
+    end
+  in
+  search Bigint.zero (Bigint.nth_bit_weight prm.Compare.l)
+
+(** Comparison-protocol invocations used (for the bench): [n] per probe,
+    [l + 1] probes worst-case, plus the final membership opening. *)
+let comparisons_bound ~n ~l = n * (l + 2)

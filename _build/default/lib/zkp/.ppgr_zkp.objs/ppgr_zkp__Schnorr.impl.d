@@ -1,0 +1,1 @@
+lib/zkp/schnorr.ml: Bigint List Ppgr_bigint Ppgr_group Ppgr_hash Ppgr_rng Rng Sha256

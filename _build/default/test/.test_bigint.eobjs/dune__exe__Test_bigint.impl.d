@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Bytes List Ppgr_bigint Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dotprod.ml: Alcotest Array Bigint Dot_product List Ppgr_bigint Ppgr_dotprod Ppgr_rng Prime Printf QCheck2 QCheck_alcotest Rng Zfield

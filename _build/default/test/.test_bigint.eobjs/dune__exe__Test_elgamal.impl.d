@@ -1,0 +1,1 @@
+test/test_elgamal.ml: Alcotest Bigint Dl_group Ec_group Elgamal Group_intf List Ppgr_bigint Ppgr_elgamal Ppgr_group Ppgr_rng QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bigint Compare Engine List Paillier Ppgr_bigint Ppgr_dotprod Ppgr_elgamal Ppgr_group Ppgr_paillier Ppgr_rng Ppgr_shamir Printf Rng Ss_sort Topk Zfield

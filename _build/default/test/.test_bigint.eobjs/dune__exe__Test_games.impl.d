@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Array Bigint Dl_group Games Group_intf List Ppgr_bigint Ppgr_group Ppgr_grouprank Ppgr_rng Rng Stdlib

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Bigint Bytes Char Dl_group Ec_curve Ec_group Ec_params Group_intf List Modp_params Ppgr_bigint Ppgr_group Ppgr_rng Printf QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_grouprank.mli:

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Char Hashtbl List Ppgr_hash Printf Sha256 String

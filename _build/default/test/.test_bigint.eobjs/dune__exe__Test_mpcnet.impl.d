@@ -1,0 +1,1 @@
+test/test_mpcnet.ml: Alcotest Array List Netsim Ppgr_mpcnet Ppgr_rng Rng Topology

@@ -1,0 +1,1 @@
+test/test_prime.ml: Alcotest Array Bigint Ec_curve Ec_params List Modp_params Ppgr_bigint Ppgr_group Ppgr_rng Prime Printf Rng

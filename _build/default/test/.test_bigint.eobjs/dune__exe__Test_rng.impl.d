@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Bigint Bytes Chacha20 Char Ppgr_bigint Ppgr_rng QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bigint Dl_group Ec_group Group_intf Phase2 Ppgr_bigint Ppgr_group Ppgr_grouprank Ppgr_rng Printf Rng Runtime

@@ -1,0 +1,1 @@
+test/test_shamir.ml: Alcotest Array Bigint Compare Engine Hashtbl List Ppgr_bigint Ppgr_dotprod Ppgr_rng Ppgr_shamir Printf QCheck2 QCheck_alcotest Rng Shamir Sort_network Ss_sort String Zfield

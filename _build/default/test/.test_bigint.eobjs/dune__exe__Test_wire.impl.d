@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Bigint Bytes Char Dot_product Ppgr_bigint Ppgr_dotprod Ppgr_group Ppgr_grouprank Ppgr_rng Printf Rng Wire Zfield

@@ -1,0 +1,1 @@
+test/test_zkp.ml: Alcotest Bigint Dl_group Ec_group Group_intf List Ppgr_bigint Ppgr_group Ppgr_rng Ppgr_zkp Printf Rng Schnorr

@@ -1,0 +1,132 @@
+(* Field arithmetic and secure dot-product protocol tests. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_dotprod
+
+let rng = Rng.create ~seed:"test-dotprod"
+let f = Zfield.default ()
+let bi = Bigint.of_int
+
+let field_tests =
+  [
+    Alcotest.test_case "default modulus is prime" `Slow (fun () ->
+        Alcotest.(check bool) "2^192-237 prime" true
+          (Prime.is_probable_prime ~rounds:6 (Rng.as_prime_rand rng)
+             (Zfield.modulus f)));
+    Alcotest.test_case "field axioms on random values" `Quick (fun () ->
+        for _ = 1 to 50 do
+          let a = Zfield.random rng f and b = Zfield.random rng f and c = Zfield.random rng f in
+          Alcotest.(check bool) "assoc mul" true
+            (Bigint.equal (Zfield.mul f (Zfield.mul f a b) c) (Zfield.mul f a (Zfield.mul f b c)));
+          Alcotest.(check bool) "distrib" true
+            (Bigint.equal
+               (Zfield.mul f a (Zfield.add f b c))
+               (Zfield.add f (Zfield.mul f a b) (Zfield.mul f a c)))
+        done);
+    Alcotest.test_case "inverse and division" `Quick (fun () ->
+        for _ = 1 to 20 do
+          let a = Zfield.random_nonzero rng f in
+          Alcotest.(check bool) "a * a^-1 = 1" true
+            (Bigint.equal (Zfield.mul f a (Zfield.inv f a)) Bigint.one);
+          let b = Zfield.random rng f in
+          Alcotest.(check bool) "b/a*a = b" true
+            (Bigint.equal (Zfield.mul f (Zfield.div f b a) a) b)
+        done);
+    Alcotest.test_case "signed mapping round trip" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let enc = Zfield.of_signed f (bi v) in
+            Alcotest.(check int) (string_of_int v) v
+              (Bigint.to_int_exn (Zfield.to_signed f enc)))
+          [ 0; 1; -1; 123456; -123456; max_int / 4; -(max_int / 4) ]);
+    Alcotest.test_case "dot product" `Quick (fun () ->
+        let a = Array.map bi [| 1; 2; 3 |] and b = Array.map bi [| 4; 5; 6 |] in
+        Alcotest.(check string) "32" "32" (Bigint.to_string (Zfield.dot f a b)));
+    Alcotest.test_case "matrix-vector and matrix-matrix" `Quick (fun () ->
+        let m = [| [| bi 1; bi 2 |]; [| bi 3; bi 4 |] |] in
+        let v = [| bi 5; bi 6 |] in
+        let mv = Zfield.mat_vec f m v in
+        Alcotest.(check string) "row0" "17" (Bigint.to_string mv.(0));
+        Alcotest.(check string) "row1" "39" (Bigint.to_string mv.(1));
+        let mm = Zfield.mat_mul f m m in
+        Alcotest.(check string) "(0,0)" "7" (Bigint.to_string mm.(0).(0));
+        Alcotest.(check string) "(1,1)" "22" (Bigint.to_string mm.(1).(1)));
+    Alcotest.test_case "col_sums" `Quick (fun () ->
+        let m = [| [| bi 1; bi 2 |]; [| bi 3; bi 4 |] |] in
+        let s = Zfield.col_sums f m in
+        Alcotest.(check string) "c0" "4" (Bigint.to_string s.(0));
+        Alcotest.(check string) "c1" "6" (Bigint.to_string s.(1)));
+    Alcotest.test_case "mult counter" `Quick (fun () ->
+        Zfield.reset_mult_count f;
+        ignore (Zfield.mul f (bi 2) (bi 3));
+        ignore (Zfield.mul f (bi 2) (bi 3));
+        Alcotest.(check int) "2 mults" 2 (Zfield.mult_count f));
+  ]
+
+let protocol_tests =
+  [
+    Alcotest.test_case "correctness across dimensions and s" `Quick (fun () ->
+        List.iter
+          (fun (d, s) ->
+            let w = Array.init d (fun _ -> bi (Rng.int_below rng 10000)) in
+            let v = Array.init d (fun _ -> bi (Rng.int_below rng 10000)) in
+            let alpha = Zfield.random rng f in
+            let st, m1 = Dot_product.bob_round1 rng f ~w ~s in
+            let m2 = Dot_product.alice_round2 rng f ~v ~alpha m1 in
+            let beta = Dot_product.bob_finish f st m2 in
+            Alcotest.(check string)
+              (Printf.sprintf "d=%d s=%d" d s)
+              (Bigint.to_string (Dot_product.plain f ~w ~v ~alpha))
+              (Bigint.to_string beta))
+          [ (1, 2); (1, 8); (5, 2); (10, 4); (30, 6); (7, 12) ]);
+    Alcotest.test_case "handles zero vectors" `Quick (fun () ->
+        let w = Array.make 4 Bigint.zero and v = Array.make 4 Bigint.zero in
+        let alpha = bi 777 in
+        let st, m1 = Dot_product.bob_round1 rng f ~w ~s:3 in
+        let m2 = Dot_product.alice_round2 rng f ~v ~alpha m1 in
+        Alcotest.(check string) "beta = alpha" "777"
+          (Bigint.to_string (Dot_product.bob_finish f st m2)));
+    Alcotest.test_case "signed inputs through field encoding" `Quick (fun () ->
+        (* w.v + alpha where components are negative integers. *)
+        let enc v = Zfield.of_signed f (bi v) in
+        let w = Array.map enc [| 3; -2 |] and v = Array.map enc [| -4; 5 |] in
+        let alpha = enc (-10) in
+        let st, m1 = Dot_product.bob_round1 rng f ~w ~s:4 in
+        let m2 = Dot_product.alice_round2 rng f ~v ~alpha m1 in
+        let beta = Zfield.to_signed f (Dot_product.bob_finish f st m2) in
+        (* 3*-4 + -2*5 + -10 = -32 *)
+        Alcotest.(check int) "signed result" (-32) (Bigint.to_int_exn beta));
+    Alcotest.test_case "round1 message has documented size" `Quick (fun () ->
+        let d = 6 and s = 5 in
+        let w = Array.init d (fun i -> bi i) in
+        let _, m1 = Dot_product.bob_round1 rng f ~w ~s in
+        let count =
+          Array.length m1.Dot_product.qx * Array.length m1.Dot_product.qx.(0)
+          + Array.length m1.Dot_product.c'
+          + Array.length m1.Dot_product.g
+        in
+        Alcotest.(check int) "elements" (Dot_product.round1_elements ~s ~dim:d) count);
+    Alcotest.test_case "s must be at least 2" `Quick (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Dot_product.bob_round1: s must be >= 2") (fun () ->
+            ignore (Dot_product.bob_round1 rng f ~w:[| bi 1 |] ~s:1)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60 ~name:"protocol equals plaintext (random)"
+         QCheck2.Gen.(
+           pair (int_range 1 12)
+             (pair (int_range 2 8) (int_range 0 1_000_000)))
+         (fun (d, (s, seed)) ->
+           let r = Rng.create ~seed:(string_of_int seed) in
+           let w = Array.init d (fun _ -> bi (Rng.int_below r 100000)) in
+           let v = Array.init d (fun _ -> bi (Rng.int_below r 100000)) in
+           let alpha = Zfield.random r f in
+           let st, m1 = Dot_product.bob_round1 r f ~w ~s in
+           let m2 = Dot_product.alice_round2 r f ~v ~alpha m1 in
+           Bigint.equal
+             (Dot_product.bob_finish f st m2)
+             (Dot_product.plain f ~w ~v ~alpha)));
+  ]
+
+let () =
+  Alcotest.run "dotprod" [ ("field", field_tests); ("protocol", protocol_tests) ]

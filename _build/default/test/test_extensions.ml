@@ -1,0 +1,198 @@
+(* Tests for the extension substrates: the probabilistic top-k baseline
+   (Burkhart-Dimitropoulos style), the re-encryption mix-net, and the
+   Paillier cryptosystem. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_dotprod
+open Ppgr_shamir
+
+let rng = Rng.create ~seed:"test-extensions"
+let f = Zfield.default ()
+let bi = Bigint.of_int
+
+let engine ?(n = 5) () =
+  let e = Engine.create rng f ~n in
+  Engine.reset_costs e;
+  e
+
+let topk_tests =
+  let prm = Compare.default_params ~l:10 () in
+  [
+    Alcotest.test_case "selects the k largest (distinct values)" `Quick
+      (fun () ->
+        for _ = 1 to 5 do
+          let n = 6 in
+          (* Distinct values guarantee exact termination. *)
+          let perm = Rng.permutation rng 50 in
+          let vals = Array.init n (fun i -> 10 + (perm.(i) * 3)) in
+          let e = engine () in
+          let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+          let k = 1 + Rng.int_below rng (n - 1) in
+          match Topk.top_k e prm ~k shared with
+          | Topk.Top_k idx ->
+              Alcotest.(check int) "k results" k (List.length idx);
+              (* Every selected value beats every unselected one. *)
+              List.iter
+                (fun i ->
+                  Array.iteri
+                    (fun j v ->
+                      if not (List.mem j idx) then
+                        Alcotest.(check bool) "dominates" true (vals.(i) > v))
+                    vals)
+                idx
+          | Topk.Tie_at_cut _ -> Alcotest.fail "unexpected tie with distinct values"
+        done);
+    Alcotest.test_case "reports ties at the cut" `Quick (fun () ->
+        let vals = [| 100; 100; 100; 5; 5 |] in
+        let e = engine () in
+        let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+        (* k = 2 cannot be met exactly: three values tie above any cut. *)
+        match Topk.top_k e prm ~k:2 shared with
+        | Topk.Tie_at_cut (idx, count) ->
+            Alcotest.(check int) "count" 3 count;
+            Alcotest.(check (list int)) "tied indices" [ 0; 1; 2 ] (List.sort compare idx)
+        | Topk.Top_k _ -> Alcotest.fail "tie not detected");
+    Alcotest.test_case "k = n returns everyone" `Quick (fun () ->
+        let vals = [| 3; 1; 4; 1 |] in
+        let e = engine () in
+        let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+        match Topk.top_k e prm ~k:4 shared with
+        | Topk.Top_k idx -> Alcotest.(check int) "all" 4 (List.length idx)
+        | Topk.Tie_at_cut _ -> Alcotest.fail "k = n always succeeds");
+    Alcotest.test_case "scales linearly in n (vs superlinear sort)" `Quick
+      (fun () ->
+        (* Multiplication counts as the input count quadruples: top-k
+           should grow ~linearly, the sorting network markedly faster. *)
+        let run_topk n =
+          let vals = Array.init n (fun i -> 7 * (i + 1)) in
+          let e = engine ~n:5 () in
+          let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+          ignore (Topk.top_k e prm ~k:2 shared);
+          (Engine.costs e).Engine.c_mults
+        in
+        let run_sort n =
+          let vals = Array.init n (fun i -> 7 * (i + 1)) in
+          let e = engine ~n:5 () in
+          let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+          ignore (Ss_sort.sort e prm shared);
+          (Engine.costs e).Engine.c_mults
+        in
+        let topk_ratio = float_of_int (run_topk 16) /. float_of_int (run_topk 4) in
+        let sort_ratio = float_of_int (run_sort 16) /. float_of_int (run_sort 4) in
+        Alcotest.(check bool)
+          (Printf.sprintf "topk x%.1f vs sort x%.1f" topk_ratio sort_ratio)
+          true
+          (topk_ratio < 6. && sort_ratio > 8.));
+    Alcotest.test_case "k out of range rejected" `Quick (fun () ->
+        let e = engine () in
+        let shared = [| Engine.input e (bi 1) |] in
+        Alcotest.check_raises "bad k" (Invalid_argument "Topk.top_k: k out of range")
+          (fun () -> ignore (Topk.top_k e prm ~k:2 shared)));
+  ]
+
+let mixnet_tests =
+  let module G = (val Ppgr_group.Dl_group.dl_test_64 ()) in
+  let module M = Ppgr_elgamal.Mixnet.Make (G) in
+  [
+    Alcotest.test_case "output is the input multiset" `Quick (fun () ->
+        for trial = 1 to 5 do
+          let n = 2 + Rng.int_below rng 5 in
+          let messages = Array.init n (fun _ -> G.pow_gen (G.random_scalar rng)) in
+          let r =
+            M.collect (Rng.split rng ~label:(string_of_int trial)) messages
+          in
+          Alcotest.(check bool) "multiset" true
+            (M.same_multiset messages r.M.plaintexts)
+        done);
+    Alcotest.test_case "duplicate messages survive" `Quick (fun () ->
+        let m = G.pow_gen (Bigint.of_int 5) in
+        let messages = [| m; m; G.pow_gen (Bigint.of_int 9) |] in
+        let r = M.collect rng messages in
+        Alcotest.(check bool) "multiset with dupes" true
+          (M.same_multiset messages r.M.plaintexts));
+    Alcotest.test_case "positions are unlinkable (distribution)" `Quick
+      (fun () ->
+        (* Track where sender 0's distinguished message lands over many
+           runs: it must not stick to any position. *)
+        let n = 4 in
+        let special = G.pow_gen (Bigint.of_int 424242) in
+        let counts = Array.make n 0 in
+        let trials = 80 in
+        for trial = 1 to trials do
+          let messages =
+            Array.init n (fun i ->
+                if i = 0 then special else G.pow_gen (Bigint.of_int (1000 + i)))
+          in
+          let r =
+            M.collect (Rng.split rng ~label:(Printf.sprintf "pos-%d" trial)) messages
+          in
+          Array.iteri
+            (fun pos p -> if G.equal p special then counts.(pos) <- counts.(pos) + 1)
+            r.M.plaintexts
+        done;
+        Alcotest.(check int) "found every time" trials (Array.fold_left ( + ) 0 counts);
+        Array.iter
+          (fun c ->
+            Alcotest.(check bool) "no sticky position" true (c > 5 && c < 40))
+          counts);
+    Alcotest.test_case "needs two members" `Quick (fun () ->
+        Alcotest.check_raises "n=1"
+          (Invalid_argument "Mixnet.collect: need at least 2 members") (fun () ->
+            ignore (M.collect rng [| G.generator |])));
+  ]
+
+let paillier_tests =
+  let open Ppgr_paillier in
+  let sk, pk = Paillier.keygen rng ~bits:256 in
+  [
+    Alcotest.test_case "encrypt/decrypt round trip" `Quick (fun () ->
+        for _ = 1 to 10 do
+          let m = Rng.bigint_below rng pk.Paillier.n in
+          Alcotest.(check string) "roundtrip" (Bigint.to_string m)
+            (Bigint.to_string (Paillier.decrypt sk (Paillier.encrypt rng pk m)))
+        done);
+    Alcotest.test_case "additive homomorphism" `Quick (fun () ->
+        for _ = 1 to 10 do
+          let a = Rng.int_below rng 1_000_000 and b = Rng.int_below rng 1_000_000 in
+          let ca = Paillier.encrypt rng pk (bi a) in
+          let cb = Paillier.encrypt rng pk (bi b) in
+          Alcotest.(check string) "sum" (string_of_int (a + b))
+            (Bigint.to_string (Paillier.decrypt sk (Paillier.add pk ca cb)))
+        done);
+    Alcotest.test_case "scalar multiplication and negation" `Quick (fun () ->
+        let c = Paillier.encrypt rng pk (bi 111) in
+        Alcotest.(check string) "scale" "777"
+          (Bigint.to_string (Paillier.decrypt sk (Paillier.scale pk c (bi 7))));
+        let neg = Paillier.neg pk c in
+        Alcotest.(check string) "m + (-m) = 0" "0"
+          (Bigint.to_string (Paillier.decrypt sk (Paillier.add pk c neg))));
+    Alcotest.test_case "add_clear" `Quick (fun () ->
+        let c = Paillier.encrypt rng pk (bi 40) in
+        Alcotest.(check string) "40+2" "42"
+          (Bigint.to_string (Paillier.decrypt sk (Paillier.add_clear pk c (bi 2)))));
+    Alcotest.test_case "rerandomize keeps plaintext, changes ciphertext" `Quick
+      (fun () ->
+        let c = Paillier.encrypt rng pk (bi 9) in
+        let c' = Paillier.rerandomize rng pk c in
+        Alcotest.(check bool) "changed" false (Bigint.equal c c');
+        Alcotest.(check string) "kept" "9" (Bigint.to_string (Paillier.decrypt sk c')));
+    Alcotest.test_case "ciphertexts are randomized" `Quick (fun () ->
+        let c1 = Paillier.encrypt rng pk (bi 5) in
+        let c2 = Paillier.encrypt rng pk (bi 5) in
+        Alcotest.(check bool) "distinct" false (Bigint.equal c1 c2));
+    Alcotest.test_case "wraps modulo n" `Quick (fun () ->
+        let m = Bigint.pred pk.Paillier.n in
+        let c = Paillier.encrypt rng pk m in
+        (* (n-1) + 2 = 1 mod n *)
+        Alcotest.(check string) "wrap" "1"
+          (Bigint.to_string (Paillier.decrypt sk (Paillier.add_clear pk c (bi 2)))));
+  ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ("topk", topk_tests);
+      ("mixnet", mixnet_tests);
+      ("paillier", paillier_tests);
+    ]

@@ -1,0 +1,397 @@
+(* End-to-end tests of the group ranking framework: the gain model,
+   both secure phases, phase-3 vetting, and agreement between the HE
+   frameworks and the SS baseline. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+
+let rng = Rng.create ~seed:"test-grouprank"
+let spec = Attrs.spec ~m:5 ~t:2 ~d1:6 ~d2:4
+
+let attrs_tests =
+  [
+    Alcotest.test_case "gain formula (hand computed)" `Quick (fun () ->
+        (* m=3, t=1: g = -w0 (v0-c0)^2 + w1 (v1-c1) + w2 (v2-c2). *)
+        let s = Attrs.spec ~m:3 ~t:1 ~d1:6 ~d2:4 in
+        let c = { Attrs.v0 = [| 10; 5; 0 |]; w = [| 2; 3; 1 |] } in
+        let v = [| 12; 9; 7 |] in
+        (* -2*4 + 3*4 + 1*7 = -8 + 12 + 7 = 11 *)
+        Alcotest.(check int) "gain" 11 (Attrs.gain s c v));
+    Alcotest.test_case "partial gain differs by the criterion constant" `Quick
+      (fun () ->
+        for _ = 1 to 30 do
+          let c = Attrs.random_criterion rng spec in
+          let offset = Attrs.gain_offset spec c in
+          let v = Attrs.random_info rng spec in
+          Alcotest.(check int) "g = p - offset"
+            (Attrs.gain spec c v)
+            (Attrs.partial_gain spec c v - offset)
+        done);
+    Alcotest.test_case "partial gain respects the bit bound" `Quick (fun () ->
+        let bound = Attrs.partial_gain_bits spec in
+        for _ = 1 to 200 do
+          let c = Attrs.random_criterion rng spec in
+          let v = Attrs.random_info rng spec in
+          let p = Bigint.of_int (Attrs.partial_gain spec c v) in
+          Alcotest.(check bool) "fits" true (Bigint.numbits p < bound)
+        done);
+    Alcotest.test_case "vector encodings reproduce the partial gain" `Quick
+      (fun () ->
+        (* w'_j . v'_j must equal rho * p_j + rho_j. *)
+        for _ = 1 to 30 do
+          let c = Attrs.random_criterion rng spec in
+          let v = Attrs.random_info rng spec in
+          let rho = Bigint.of_int (1 + Rng.int_below rng 1000) in
+          let rho_j = Rng.bigint_below rng rho in
+          let wv = Attrs.participant_vector spec v in
+          let vv = Attrs.initiator_vector spec c ~rho ~rho_j in
+          let dot = Array.fold_left Bigint.add Bigint.zero (Array.map2 Bigint.mul wv vv) in
+          let expect =
+            Bigint.add (Bigint.mul rho (Bigint.of_int (Attrs.partial_gain spec c v))) rho_j
+          in
+          Alcotest.(check string) "dot = rho p + rho_j" (Bigint.to_string expect)
+            (Bigint.to_string dot)
+        done);
+    Alcotest.test_case "out-of-range values rejected" `Quick (fun () ->
+        let c = Attrs.random_criterion rng spec in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Attrs.gain spec c [| 1000; 0; 0; 0; 0 |]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "reference ranks non-increasing in gain" `Quick (fun () ->
+        let c = Attrs.random_criterion rng spec in
+        let infos = Array.init 8 (fun _ -> Attrs.random_info rng spec) in
+        let ranks = Attrs.reference_ranks spec c infos in
+        let gains = Array.map (Attrs.partial_gain spec c) infos in
+        Array.iteri
+          (fun i ri ->
+            Array.iteri
+              (fun j rj ->
+                if ri < rj then
+                  Alcotest.(check bool) "ordered" true (gains.(i) >= gains.(j)))
+              ranks)
+          ranks);
+  ]
+
+let phase1_tests =
+  let cfg = Phase1.config ~spec ~h:8 () in
+  [
+    Alcotest.test_case "beta equals the reference masked gain" `Quick (fun () ->
+        for _ = 1 to 15 do
+          let criterion = Attrs.random_criterion rng spec in
+          let infos = Array.init 4 (fun _ -> Attrs.random_info rng spec) in
+          let secrets, res = Phase1.run rng cfg ~criterion ~infos in
+          Array.iteri
+            (fun j r ->
+              let expect =
+                Phase1.reference_beta cfg ~criterion ~secrets ~j ~info:infos.(j)
+              in
+              Alcotest.(check string) "beta" (Bigint.to_string expect)
+                (Bigint.to_string r.Phase1.beta_signed))
+            res
+        done);
+    Alcotest.test_case "betas preserve strict gain order" `Quick (fun () ->
+        for _ = 1 to 15 do
+          let criterion = Attrs.random_criterion rng spec in
+          let infos = Array.init 6 (fun _ -> Attrs.random_info rng spec) in
+          let _, res = Phase1.run rng cfg ~criterion ~infos in
+          let gains = Array.map (Attrs.partial_gain spec criterion) infos in
+          Array.iteri
+            (fun i ri ->
+              Array.iteri
+                (fun j rj ->
+                  if gains.(i) > gains.(j) then
+                    Alcotest.(check bool) "order kept" true
+                      (Bigint.compare ri.Phase1.beta_unsigned rj.Phase1.beta_unsigned > 0))
+                res)
+            res
+        done);
+    Alcotest.test_case "unsigned betas fit in l bits" `Quick (fun () ->
+        let l = Phase1.beta_bits cfg in
+        let criterion = Attrs.random_criterion rng spec in
+        let infos = Array.init 5 (fun _ -> Attrs.random_info rng spec) in
+        let _, res = Phase1.run rng cfg ~criterion ~infos in
+        Array.iter
+          (fun r ->
+            Alcotest.(check bool) "in range" true
+              (Bigint.sign r.Phase1.beta_unsigned >= 0
+              && Bigint.numbits r.Phase1.beta_unsigned <= l))
+          res);
+    Alcotest.test_case "rho has the top bit set (order preservation)" `Quick
+      (fun () ->
+        for _ = 1 to 20 do
+          let s = Phase1.draw_masks rng cfg ~n:3 in
+          Alcotest.(check int) "h bits" cfg.Phase1.h (Bigint.numbits s.Phase1.rho);
+          Array.iter
+            (fun rj ->
+              Alcotest.(check bool) "rho_j < rho" true
+                (Bigint.compare rj s.Phase1.rho < 0 && Bigint.sign rj >= 0))
+            s.Phase1.rho_js
+        done);
+  ]
+
+(* Expected ranks from beta values: 1 + number of strictly larger betas. *)
+let ranks_of_betas betas =
+  Array.map
+    (fun b ->
+      1 + Array.fold_left (fun acc b' -> if Bigint.compare b' b > 0 then acc + 1 else acc) 0 betas)
+    betas
+
+let phase2_tests =
+  let module G = (val Dl_group.dl_test_64 ()) in
+  let module P2 = Phase2.Make (G) in
+  [
+    Alcotest.test_case "ranks match beta ordering (random)" `Quick (fun () ->
+        for _ = 1 to 6 do
+          let n = 2 + Rng.int_below rng 5 in
+          let l = 10 in
+          let betas = Array.init n (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l)) in
+          let r = P2.run rng ~l ~betas in
+          Alcotest.(check (array int)) "ranks" (ranks_of_betas betas) r.P2.ranks
+        done);
+    Alcotest.test_case "equal betas share a rank" `Quick (fun () ->
+        let betas = Array.map Bigint.of_int [| 5; 9; 5; 1; 9 |] in
+        let r = P2.run rng ~l:8 ~betas in
+        Alcotest.(check (array int)) "ranks" [| 3; 1; 3; 5; 1 |] r.P2.ranks);
+    Alcotest.test_case "single participant" `Quick (fun () ->
+        let r = P2.run rng ~l:8 ~betas:[| Bigint.of_int 3 |] in
+        Alcotest.(check (array int)) "rank" [| 1 |] r.P2.ranks);
+    Alcotest.test_case "two participants" `Quick (fun () ->
+        let r = P2.run rng ~l:8 ~betas:(Array.map Bigint.of_int [| 200; 100 |]) in
+        Alcotest.(check (array int)) "ranks" [| 1; 2 |] r.P2.ranks);
+    Alcotest.test_case "extreme betas (0 and 2^l - 1)" `Quick (fun () ->
+        let l = 12 in
+        let betas =
+          [| Bigint.zero; Bigint.pred (Bigint.nth_bit_weight l); Bigint.of_int 5 |]
+        in
+        let r = P2.run rng ~l ~betas in
+        Alcotest.(check (array int)) "ranks" [| 3; 1; 2 |] r.P2.ranks);
+    Alcotest.test_case "all zkp proofs verify" `Quick (fun () ->
+        let betas = Array.map Bigint.of_int [| 1; 2; 3; 4 |] in
+        let r = P2.run rng ~l:6 ~betas in
+        Alcotest.(check bool) "all ok" true
+          (Array.for_all (Array.for_all Fun.id) r.P2.zkp_ok));
+    Alcotest.test_case "naive omega variant agrees" `Quick (fun () ->
+        let betas = Array.map Bigint.of_int [| 17; 3; 90; 17 |] in
+        let fast = P2.run rng ~l:8 ~betas in
+        let naive = P2.run ~naive_omega:true rng ~l:8 ~betas in
+        Alcotest.(check (array int)) "same ranks" fast.P2.ranks naive.P2.ranks);
+    Alcotest.test_case "naive omega costs more group ops" `Quick (fun () ->
+        let betas = Array.init 4 (fun i -> Bigint.of_int (i * 37)) in
+        let fast = P2.run rng ~l:24 ~betas in
+        let naive = P2.run ~naive_omega:true rng ~l:24 ~betas in
+        let total r = Array.fold_left ( + ) 0 r.P2.per_party_ops in
+        Alcotest.(check bool) "naive > fast" true (total naive > total fast));
+    Alcotest.test_case "rejects out-of-range beta" `Quick (fun () ->
+        Alcotest.check_raises "too big"
+          (Invalid_argument "Phase2.run: beta out of l-bit range") (fun () ->
+            ignore (P2.run rng ~l:4 ~betas:[| Bigint.of_int 16; Bigint.one |])));
+    Alcotest.test_case "communication: O(n) rounds" `Quick (fun () ->
+        let run n =
+          let betas = Array.init n (fun i -> Bigint.of_int i) in
+          List.length (P2.run rng ~l:6 ~betas).P2.schedule
+        in
+        (* rounds = n + constant: difference between n=6 and n=4 is 2. *)
+        Alcotest.(check int) "linear growth" 2 (run 6 - run 4));
+    Alcotest.test_case "per-party ciphertext count formula" `Quick (fun () ->
+        Alcotest.(check int) "l(1 + n(n+1))" (6 * (1 + (5 * 6)))
+          (P2.ciphertexts_per_party ~n:5 ~l:6));
+    Alcotest.test_case "ranks agree across group families" `Quick (fun () ->
+        let module Gec = (val Ec_group.ecc_tiny ()) in
+        let module P2ec = Phase2.Make (Gec) in
+        let betas = Array.init 5 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight 10)) in
+        let a = (P2.run rng ~l:10 ~betas).P2.ranks in
+        let b = (P2ec.run rng ~l:10 ~betas).P2ec.ranks in
+        Alcotest.(check (array int)) "same" a b);
+  ]
+
+let framework_tests =
+  let cfg = Framework.config ~h:8 ~spec ~k:2 () in
+  [
+    Alcotest.test_case "end-to-end ranks consistent with gains" `Quick (fun () ->
+        for _ = 1 to 3 do
+          let n = 3 + Rng.int_below rng 3 in
+          let criterion = Attrs.random_criterion rng spec in
+          let infos = Array.init n (fun _ -> Attrs.random_info rng spec) in
+          let out =
+            Framework.run_with_group (Dl_group.dl_test_64 ()) rng cfg ~criterion ~infos
+          in
+          let gains = Array.map (Attrs.partial_gain spec criterion) infos in
+          Array.iteri
+            (fun i ri ->
+              Array.iteri
+                (fun j rj ->
+                  if ri < rj then
+                    Alcotest.(check bool) "no inversion" true (gains.(i) >= gains.(j)))
+                out.Framework.ranks)
+            out.Framework.ranks
+        done);
+    Alcotest.test_case "top-k submissions reach the initiator" `Quick (fun () ->
+        let criterion = Attrs.random_criterion rng spec in
+        let infos = Array.init 6 (fun _ -> Attrs.random_info rng spec) in
+        let out =
+          Framework.run_with_group (Dl_group.dl_test_64 ()) rng cfg ~criterion ~infos
+        in
+        Alcotest.(check bool) "at least k submissions (ties may add more)" true
+          (List.length out.Framework.submissions >= 2);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) "claimed rank <= k" true (s.Framework.claimed_rank <= 2))
+          out.Framework.submissions;
+        Alcotest.(check int) "nothing flagged" 0 (List.length out.Framework.flagged));
+    Alcotest.test_case "over-claim detection flags liars" `Quick (fun () ->
+        let criterion = { Attrs.v0 = [| 0; 0; 0; 0; 0 |]; w = [| 1; 1; 1; 1; 1 |] } in
+        (* Gains here are dominated by "greater than" attributes; build
+           submissions by hand with an inconsistent claimed order. *)
+        let low = [| 0; 0; 1; 1; 1 |] and high = [| 0; 0; 60; 60; 60 |] in
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module F = Framework.Make (G) in
+        let subs =
+          [
+            { Framework.participant = 0; claimed_rank = 1; info = low };
+            { Framework.participant = 1; claimed_rank = 2; info = high };
+          ]
+        in
+        let ok, bad = F.vet_submissions spec criterion subs in
+        Alcotest.(check int) "both flagged" 0 (List.length ok);
+        Alcotest.(check int) "two inconsistent" 2 (List.length bad));
+    Alcotest.test_case "honest submissions pass vetting" `Quick (fun () ->
+        let criterion = { Attrs.v0 = [| 0; 0; 0; 0; 0 |]; w = [| 1; 1; 1; 1; 1 |] } in
+        let low = [| 0; 0; 1; 1; 1 |] and high = [| 0; 0; 60; 60; 60 |] in
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module F = Framework.Make (G) in
+        let subs =
+          [
+            { Framework.participant = 0; claimed_rank = 2; info = low };
+            { Framework.participant = 1; claimed_rank = 1; info = high };
+          ]
+        in
+        let ok, bad = F.vet_submissions spec criterion subs in
+        Alcotest.(check int) "accepted" 2 (List.length ok);
+        Alcotest.(check int) "none flagged" 0 (List.length bad));
+    Alcotest.test_case "HE framework agrees with SS baseline" `Quick (fun () ->
+        let criterion = Attrs.random_criterion rng spec in
+        let infos = Array.init 5 (fun _ -> Attrs.random_info rng spec) in
+        (* Distinct gains so rankings are unique regardless of masks. *)
+        let gains = Array.map (Attrs.partial_gain spec criterion) infos in
+        let distinct =
+          Array.length gains
+          = List.length (List.sort_uniq compare (Array.to_list gains))
+        in
+        if distinct then begin
+          let he =
+            Framework.run_with_group (Ec_group.ecc_tiny ()) rng cfg ~criterion ~infos
+          in
+          let ss = Ss_framework.run rng cfg ~criterion ~infos in
+          Alcotest.(check (array int)) "same ranks" he.Framework.ranks
+            ss.Ss_framework.ranks
+        end);
+    Alcotest.test_case "cost ledger is populated" `Quick (fun () ->
+        let criterion = Attrs.random_criterion rng spec in
+        let infos = Array.init 4 (fun _ -> Attrs.random_info rng spec) in
+        let out =
+          Framework.run_with_group (Dl_group.dl_test_64 ()) rng cfg ~criterion ~infos
+        in
+        let c = out.Framework.costs in
+        Alcotest.(check bool) "ops counted" true
+          (Array.for_all (fun o -> o > 0) c.Framework.participant_ops);
+        Alcotest.(check bool) "exps counted" true
+          (Array.for_all (fun o -> o > 0) c.Framework.participant_exps);
+        Alcotest.(check bool) "initiator worked" true (c.Framework.initiator_field_mults > 0);
+        Alcotest.(check bool) "schedule nonempty" true (List.length c.Framework.schedule > 5));
+    Alcotest.test_case "ss baseline needs 3 parties" `Quick (fun () ->
+        let criterion = Attrs.random_criterion rng spec in
+        let infos = Array.init 2 (fun _ -> Attrs.random_info rng spec) in
+        Alcotest.check_raises "too few"
+          (Invalid_argument "Ss_framework.run: need at least 3 parties") (fun () ->
+            ignore (Ss_framework.run rng cfg ~criterion ~infos)));
+  ]
+
+
+(* Validate the cost model: the quadratic fit from n = 3,4,5 must
+   predict direct instrumented runs at larger n. *)
+let cost_model_tests =
+  [
+    Alcotest.test_case "HE model predicts direct runs" `Slow (fun () ->
+        let l = 20 in
+        let m = Cost_model.He_model.fit rng ~l in
+        List.iter
+          (fun n ->
+            let ops, exps = Cost_model.He_model.measure_once rng ~l ~n in
+            let pred_ops = Cost_model.He_model.predict_test_ops m ~n in
+            let pred_exps = Cost_model.He_model.predict_exps m ~n in
+            let rel a b = abs_float (a -. float_of_int b) /. float_of_int b in
+            Alcotest.(check bool)
+              (Printf.sprintf "ops within 5%% at n=%d (pred %.0f actual %d)" n pred_ops ops)
+              true
+              (rel pred_ops ops < 0.05);
+            Alcotest.(check bool)
+              (Printf.sprintf "exps within 5%% at n=%d" n)
+              true
+              (rel pred_exps exps < 0.05))
+          [ 7; 9 ]);
+    Alcotest.test_case "HE model matches analytic exponentiation count" `Quick
+      (fun () ->
+        let l = 16 in
+        let m = Cost_model.He_model.fit rng ~l in
+        List.iter
+          (fun n ->
+            let analytic = Cost_model.He_model.analytic_exps ~n ~l in
+            let fitted = Cost_model.He_model.predict_exps m ~n in
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d analytic %d fitted %.0f" n analytic fitted)
+              true
+              (abs_float (fitted -. float_of_int analytic)
+               /. float_of_int analytic
+              < 0.02))
+          [ 5; 10; 20 ]);
+    Alcotest.test_case "SS model predicts direct field mults" `Slow (fun () ->
+        let l = 16 in
+        let m = Cost_model.Ss_model.measure rng ~l ~n0:5 () in
+        (* Direct run at n = 7: total field mults / n vs prediction. *)
+        let f = Ppgr_dotprod.Zfield.default () in
+        let n = 7 in
+        let e = Ppgr_shamir.Engine.create rng f ~n in
+        Ppgr_shamir.Engine.reset_costs e;
+        let prm = { Ppgr_shamir.Compare.l; kappa = 40; log_prefix = true } in
+        let betas = Array.init n (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l)) in
+        ignore (Ppgr_shamir.Ss_sort.rank_via_sort e prm betas);
+        let c = Ppgr_shamir.Engine.costs e in
+        let direct = float_of_int c.Ppgr_shamir.Engine.c_field_mults /. float_of_int n in
+        let pred = Cost_model.Ss_model.predict_party_field_mults m ~n in
+        Alcotest.(check bool)
+          (Printf.sprintf "within 35%% (pred %.0f direct %.0f)" pred direct)
+          true
+          (abs_float (pred -. direct) /. direct < 0.35));
+    Alcotest.test_case "schedules have positive costs and traffic" `Quick
+      (fun () ->
+        let l = 16 in
+        let hm = Cost_model.He_model.fit rng ~l in
+        let sched =
+          Cost_model.He_model.schedule hm ~n:10 ~cipher_bytes:64 ~elem_bytes:32
+            ~scalar_bytes:32 ~mpe_target:100.
+        in
+        Alcotest.(check bool) "rounds" true (List.length sched > 10);
+        Alcotest.(check bool) "bytes" true (Cost.total_bytes sched > 0);
+        Alcotest.(check bool) "ops" true (Cost.total_critical_ops sched > 0);
+        let sm = Cost_model.Ss_model.measure rng ~l ~n0:5 () in
+        let ss_sched =
+          Cost_model.Ss_model.schedule sm ~n:10 ~field_bytes:24
+            ~sec_per_field_mult:1e-6 ~sec_per_op:1e-6
+        in
+        Alcotest.(check bool) "ss rounds" true (List.length ss_sched > 10);
+        Alcotest.(check bool) "ss bytes" true (Cost.total_bytes ss_sched > 0));
+  ]
+
+let () =
+  Alcotest.run "grouprank"
+    [
+      ("attrs", attrs_tests);
+      ("phase1", phase1_tests);
+      ("phase2", phase2_tests);
+      ("framework", framework_tests);
+      ("cost-model", cost_model_tests);
+    ]

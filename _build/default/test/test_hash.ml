@@ -1,0 +1,69 @@
+(* Known-answer and structural tests for SHA-256 and HMAC-SHA256. *)
+
+open Ppgr_hash
+
+let hex = Sha256.hex_of_digest
+
+let kat name input expect =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expect (hex (Sha256.digest_string input)))
+
+let sha_tests =
+  [
+    kat "empty" "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+    kat "abc" "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+    kat "two blocks" "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+    kat "million a" (String.make 1_000_000 'a')
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0";
+    kat "exactly 64 bytes" (String.make 64 'x')
+      (hex (Sha256.digest_bytes (Bytes.make 64 'x')));
+    Alcotest.test_case "length boundary paddings agree with one-shot" `Quick
+      (fun () ->
+        (* Feed byte-at-a-time vs one-shot for every length near block
+           boundaries, exercising the padding logic. *)
+        List.iter
+          (fun len ->
+            let s = String.init len (fun i -> Char.chr (i land 0xff)) in
+            let incr_ctx = Sha256.init () in
+            String.iter
+              (fun c -> Sha256.feed_string incr_ctx (String.make 1 c))
+              s;
+            Alcotest.(check string)
+              (Printf.sprintf "len %d" len)
+              (hex (Sha256.digest_string s))
+              (hex (Sha256.finalize incr_ctx)))
+          [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128; 129 ]);
+    Alcotest.test_case "distinct inputs give distinct digests" `Quick (fun () ->
+        let seen = Hashtbl.create 64 in
+        for i = 0 to 999 do
+          let d = hex (Sha256.digest_string (string_of_int i)) in
+          Alcotest.(check bool) "fresh" false (Hashtbl.mem seen d);
+          Hashtbl.add seen d ()
+        done);
+  ]
+
+let hmac_tests =
+  let check_hmac name key msg expect =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check string) name expect
+          (hex (Sha256.hmac ~key:(Bytes.of_string key) (Bytes.of_string msg))))
+  in
+  [
+    (* RFC 4231 test cases 1, 2. *)
+    check_hmac "rfc4231-1" (String.make 20 '\x0b') "Hi There"
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7";
+    check_hmac "rfc4231-2" "Jefe" "what do ya want for nothing?"
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+    (* RFC 4231 test case 3. *)
+    check_hmac "rfc4231-3" (String.make 20 '\xaa') (String.make 50 '\xdd')
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe";
+    Alcotest.test_case "long key is hashed first" `Quick (fun () ->
+        let k = Bytes.of_string (String.make 131 '\xaa') in
+        let short = Sha256.digest_bytes k in
+        Alcotest.(check string) "same"
+          (hex (Sha256.hmac ~key:k (Bytes.of_string "m")))
+          (hex (Sha256.hmac ~key:short (Bytes.of_string "m"))));
+  ]
+
+let () = Alcotest.run "hash" [ ("sha256", sha_tests); ("hmac", hmac_tests) ]

@@ -1,0 +1,89 @@
+(* Tests for the message-passing (bytes-only) execution of phase 2. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+
+let rng = Rng.create ~seed:"test-runtime"
+
+let ranks_of_betas betas =
+  Array.map
+    (fun b ->
+      1
+      + Array.fold_left
+          (fun acc b' -> if Bigint.compare b' b > 0 then acc + 1 else acc)
+          0 betas)
+    betas
+
+let suite (name, g) =
+  let module G = (val g : Group_intf.GROUP) in
+  let module RT = Runtime.Make (G) in
+  [
+    Alcotest.test_case (name ^ ": distributed ranks match beta order") `Quick
+      (fun () ->
+        for _ = 1 to 4 do
+          let n = 2 + Rng.int_below rng 4 in
+          let l = 10 in
+          let betas =
+            Array.init n (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+          in
+          let r = RT.run rng ~l ~betas in
+          Alcotest.(check (array int)) "ranks" (ranks_of_betas betas) r.RT.ranks
+        done);
+    Alcotest.test_case (name ^ ": agrees with the lockstep simulation") `Quick
+      (fun () ->
+        let module P2 = Phase2.Make (G) in
+        let l = 8 in
+        let betas = Array.map Bigint.of_int [| 17; 200; 3; 17; 90 |] in
+        let sim = (P2.run rng ~l ~betas).P2.ranks in
+        let dist = (RT.run rng ~l ~betas).RT.ranks in
+        Alcotest.(check (array int)) "same ranking" sim dist);
+    Alcotest.test_case (name ^ ": traffic accounted") `Quick (fun () ->
+        let l = 6 in
+        let betas = Array.map Bigint.of_int [| 1; 2; 3; 4 |] in
+        let r = RT.run rng ~l ~betas in
+        Alcotest.(check bool) "bytes" true (r.RT.bytes_on_wire > 0);
+        Alcotest.(check bool) "messages" true (r.RT.messages > 20));
+    Alcotest.test_case (name ^ ": rejects out-of-range beta") `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (RT.run rng ~l:4 ~betas:[| Bigint.of_int 16; Bigint.one |]);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let forged_proof_tests =
+  let module G = (val Dl_group.dl_test_64 () : Group_intf.GROUP) in
+  let module RT = Runtime.Make (G) in
+  [
+    Alcotest.test_case "announcement with forged proof is rejected" `Quick
+      (fun () ->
+        let n = 3 and l = 6 in
+        let parties =
+          Array.init n (fun index ->
+              RT.create_party ~index ~n ~l ~beta:(Bigint.of_int index)
+                (Rng.split rng ~label:(Printf.sprintf "forge-%d" index)))
+        in
+        let pub_msgs = Array.map (fun p -> p.RT.pub_msg) parties in
+        let proof_msgs = Array.map (fun p -> p.RT.proof_msg) parties in
+        (* Party 1 announces party 0's proof with its own key: the
+           verification binds proof to statement, so this must fail. *)
+        let forged = Array.copy proof_msgs in
+        forged.(1) <- proof_msgs.(0);
+        Alcotest.(check bool) "rejected" true
+          (try
+             ignore
+               (RT.receive_keys_and_encrypt parties.(2) ~pub_msgs
+                  ~proof_msgs:forged);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("dl", suite ("DL", Dl_group.dl_test_64 ()));
+      ("ec", suite ("EC", Ec_group.ecc_tiny ()));
+      ("forged-proof", forged_proof_tests);
+    ]

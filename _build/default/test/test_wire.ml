@@ -1,0 +1,114 @@
+(* Wire-format tests: round trips for every message type, validating
+   decode behaviour on malformed and adversarial inputs. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_dotprod
+open Ppgr_grouprank
+
+let rng = Rng.create ~seed:"test-wire"
+let f = Zfield.default ()
+
+let field_message_tests =
+  [
+    Alcotest.test_case "dot round 1 round trip" `Quick (fun () ->
+        for _ = 1 to 10 do
+          let d = 1 + Rng.int_below rng 8 and s = 2 + Rng.int_below rng 5 in
+          let w = Array.init d (fun _ -> Zfield.random rng f) in
+          let _, m = Dot_product.bob_round1 rng f ~w ~s in
+          let m' = Wire.decode_dot_round1 (Wire.encode_dot_round1 m) in
+          Alcotest.(check bool) "qx" true (m.Dot_product.qx = m'.Dot_product.qx);
+          Alcotest.(check bool) "c'" true (m.Dot_product.c' = m'.Dot_product.c');
+          Alcotest.(check bool) "g" true (m.Dot_product.g = m'.Dot_product.g)
+        done);
+    Alcotest.test_case "dot round 2 round trip" `Quick (fun () ->
+        let m = { Dot_product.a = Zfield.random rng f; h = Zfield.random rng f } in
+        let m' = Wire.decode_dot_round2 (Wire.encode_dot_round2 m) in
+        Alcotest.(check bool) "a" true (Bigint.equal m.Dot_product.a m'.Dot_product.a);
+        Alcotest.(check bool) "h" true (Bigint.equal m.Dot_product.h m'.Dot_product.h));
+    Alcotest.test_case "submission round trip" `Quick (fun () ->
+        let m = { Wire.sub_rank = 3; sub_info = [| 10; 255; 0; 70000 |] } in
+        let m' = Wire.decode_submission (Wire.encode_submission m) in
+        Alcotest.(check int) "rank" m.Wire.sub_rank m'.Wire.sub_rank;
+        Alcotest.(check (array int)) "info" m.Wire.sub_info m'.Wire.sub_info);
+    Alcotest.test_case "wrong tag rejected" `Quick (fun () ->
+        let m = { Dot_product.a = Bigint.one; h = Bigint.two } in
+        let data = Wire.encode_dot_round2 m in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Wire.decode_dot_round1 data);
+             false
+           with Wire.Malformed _ -> true));
+    Alcotest.test_case "truncation rejected" `Quick (fun () ->
+        let m = { Dot_product.a = Zfield.random rng f; h = Zfield.random rng f } in
+        let data = Wire.encode_dot_round2 m in
+        for cut = 0 to Bytes.length data - 1 do
+          let truncated = Bytes.sub data 0 cut in
+          Alcotest.(check bool) (Printf.sprintf "cut at %d" cut) true
+            (try
+               ignore (Wire.decode_dot_round2 truncated);
+               false
+             with Wire.Malformed _ -> true)
+        done);
+    Alcotest.test_case "trailing bytes rejected" `Quick (fun () ->
+        let m = { Dot_product.a = Bigint.one; h = Bigint.two } in
+        let data = Wire.encode_dot_round2 m in
+        let extended = Bytes.cat data (Bytes.of_string "x") in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Wire.decode_dot_round2 extended);
+             false
+           with Wire.Malformed _ -> true));
+  ]
+
+let group_message_tests (name, g) =
+  let module G = (val g : Ppgr_group.Group_intf.GROUP) in
+  let module W = Wire.Make (G) in
+  [
+    Alcotest.test_case (name ^ ": pubkey round trip") `Quick (fun () ->
+        let y = G.pow_gen (G.random_scalar rng) in
+        Alcotest.(check bool) "equal" true
+          (G.equal y (W.decode_pubkey (W.encode_pubkey y))));
+    Alcotest.test_case (name ^ ": zkp transcript round trip") `Quick (fun () ->
+        let x = G.random_scalar rng in
+        let y = G.pow_gen x in
+        let t = W.Z.prove_interactive rng ~secret:x ~statement:y ~n_verifiers:4 in
+        let t' = W.decode_zkp (W.encode_zkp t) in
+        Alcotest.(check bool) "verifies after round trip" true
+          (W.Z.verify_transcript ~statement:y t'));
+    Alcotest.test_case (name ^ ": cipher batch round trip") `Quick (fun () ->
+        let _, y = W.E.keygen rng in
+        let batch =
+          Array.init 9 (fun i -> W.E.encrypt_exp_int rng y (i mod 2))
+        in
+        let data = W.encode_cipher_batch batch in
+        Alcotest.(check int) "documented size" (W.cipher_batch_bytes 9)
+          (Bytes.length data);
+        let batch' = W.decode_cipher_batch data in
+        Array.iteri
+          (fun i c ->
+            Alcotest.(check bool) "c" true (G.equal c.W.E.c batch'.(i).W.E.c);
+            Alcotest.(check bool) "c'" true (G.equal c.W.E.c' batch'.(i).W.E.c'))
+          batch);
+    Alcotest.test_case (name ^ ": corrupt element rejected") `Quick (fun () ->
+        let y = G.pow_gen (G.random_scalar rng) in
+        let data = W.encode_pubkey y in
+        (* Flip a bit of the element encoding and expect validation to
+           catch it (either wrong decode or off-group). *)
+        let pos = Bytes.length data - 1 in
+        Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 1));
+        Alcotest.(check bool) "rejected or different" true
+          (try
+             let y' = W.decode_pubkey data in
+             not (G.equal y y')
+           with Wire.Malformed _ -> true));
+  ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ("field-messages", field_message_tests);
+      ("dl", group_message_tests ("DL", Ppgr_group.Dl_group.dl_test_64 ()));
+      ("ec", group_message_tests ("EC", Ppgr_group.Ec_group.ecc_tiny ()));
+      ("ecc-160", group_message_tests ("ECC-160", Ppgr_group.Ec_group.ecc_160 ()));
+    ]

@@ -1,0 +1,102 @@
+(* Schnorr proof tests: completeness, soundness against wrong secrets,
+   the knowledge extractor, multi-verifier extension, Fiat-Shamir. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_zkp
+
+let rng = Rng.create ~seed:"test-zkp"
+
+let suite name (g : Group_intf.group) =
+  let module G = (val g) in
+  let module Z = Schnorr.Make (G) in
+  [
+    Alcotest.test_case (name ^ ": completeness, single verifier") `Quick
+      (fun () ->
+        for _ = 1 to 10 do
+          let x = G.random_scalar rng in
+          let y = G.pow_gen x in
+          let t = Z.prove_interactive rng ~secret:x ~statement:y ~n_verifiers:1 in
+          Alcotest.(check bool) "accepts" true (Z.verify_transcript ~statement:y t)
+        done);
+    Alcotest.test_case (name ^ ": completeness, many verifiers") `Quick
+      (fun () ->
+        let x = G.random_scalar rng in
+        let y = G.pow_gen x in
+        List.iter
+          (fun n ->
+            let t = Z.prove_interactive rng ~secret:x ~statement:y ~n_verifiers:n in
+            Alcotest.(check bool)
+              (Printf.sprintf "%d verifiers" n)
+              true
+              (Z.verify_transcript ~statement:y t))
+          [ 2; 5; 20 ]);
+    Alcotest.test_case (name ^ ": wrong secret rejected") `Quick (fun () ->
+        let x = G.random_scalar rng in
+        let y = G.pow_gen x in
+        let wrong = Bigint.erem (Bigint.succ x) G.order in
+        let t = Z.prove_interactive rng ~secret:wrong ~statement:y ~n_verifiers:3 in
+        Alcotest.(check bool) "rejects" false (Z.verify_transcript ~statement:y t));
+    Alcotest.test_case (name ^ ": wrong statement rejected") `Quick (fun () ->
+        let x = G.random_scalar rng in
+        let y = G.pow_gen x in
+        let t = Z.prove_interactive rng ~secret:x ~statement:y ~n_verifiers:3 in
+        let other = G.pow_gen (G.random_scalar rng) in
+        Alcotest.(check bool) "rejects" false (Z.verify_transcript ~statement:other t));
+    Alcotest.test_case (name ^ ": tampered response rejected") `Quick (fun () ->
+        let x = G.random_scalar rng in
+        let y = G.pow_gen x in
+        let t = Z.prove_interactive rng ~secret:x ~statement:y ~n_verifiers:2 in
+        let t' = { t with Z.response = Bigint.erem (Bigint.succ t.Z.response) G.order } in
+        Alcotest.(check bool) "rejects" false (Z.verify_transcript ~statement:y t'));
+    Alcotest.test_case (name ^ ": extractor recovers the secret") `Quick
+      (fun () ->
+        let x = G.random_scalar rng in
+        let st, com = Z.commit rng in
+        let run () =
+          let ch = [ Z.fresh_challenge rng; Z.fresh_challenge rng ] in
+          {
+            Z.commitment = com;
+            challenges = ch;
+            response = Z.respond st ~secret:x ~challenges:ch;
+          }
+        in
+        match Z.extract (run ()) (run ()) with
+        | Some x' -> Alcotest.(check bool) "extracted" true (Bigint.equal x x')
+        | None -> Alcotest.fail "extraction failed");
+    Alcotest.test_case (name ^ ": extractor needs distinct challenges") `Quick
+      (fun () ->
+        let x = G.random_scalar rng in
+        let st, com = Z.commit rng in
+        let ch = [ Z.fresh_challenge rng ] in
+        let t =
+          { Z.commitment = com; challenges = ch; response = Z.respond st ~secret:x ~challenges:ch }
+        in
+        Alcotest.(check bool) "none" true (Z.extract t t = None));
+    Alcotest.test_case (name ^ ": Fiat-Shamir round trip") `Quick (fun () ->
+        let x = G.random_scalar rng in
+        let y = G.pow_gen x in
+        let p = Z.prove_fs rng ~secret:x ~statement:y ~context:"ctx" in
+        Alcotest.(check bool) "accepts" true (Z.verify_fs ~statement:y ~context:"ctx" p);
+        Alcotest.(check bool) "context bound" false
+          (Z.verify_fs ~statement:y ~context:"other" p);
+        Alcotest.(check bool) "statement bound" false
+          (Z.verify_fs ~statement:(G.pow_gen (G.random_scalar rng)) ~context:"ctx" p));
+    Alcotest.test_case (name ^ ": HVZK transcript shape") `Quick (fun () ->
+        (* A simulated transcript (response first, commitment derived)
+           verifies: the distribution argument behind zero-knowledge. *)
+        let x = G.random_scalar rng in
+        let y = G.pow_gen x in
+        let z = G.random_scalar rng and c = G.random_scalar rng in
+        let com = G.mul (G.pow_gen z) (G.inv (G.pow y c)) in
+        Alcotest.(check bool) "simulated accepts" true
+          (Z.verify ~statement:y ~commitment:com ~challenges:[ c ] ~response:z));
+  ]
+
+let () =
+  Alcotest.run "zkp"
+    [
+      ("dl", suite "DL" (Dl_group.dl_test_64 ()));
+      ("ec", suite "EC" (Ec_group.ecc_tiny ()));
+    ]
