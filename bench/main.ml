@@ -5,12 +5,16 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig3a   # a subset
-   Sections: calibrate fig2 fig3a fig3b analysis ablations micro *)
+   Sections: calibrate fig2 fig3a fig3b analysis ablations micro trajectory *)
 
 let sections_requested =
   match Array.to_list Sys.argv with
   | _ :: (_ :: _ as rest) -> rest
-  | _ -> [ "calibrate"; "fig2"; "fig3a"; "fig3b"; "analysis"; "ablations"; "micro" ]
+  | _ ->
+      [
+        "calibrate"; "fig2"; "fig3a"; "fig3b"; "analysis"; "ablations"; "micro";
+        "trajectory";
+      ]
 
 let want s = List.mem s sections_requested
 
@@ -43,4 +47,5 @@ let () =
   if want "analysis" then Figures.analysis ();
   if want "ablations" then Figures.ablations ();
   if want "micro" then Micro.run ();
+  if want "trajectory" then Trajectory.run ();
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

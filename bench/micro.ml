@@ -20,8 +20,11 @@ let primitive_tests () =
   let module Dl = (val Dl_group.dl_1024 ()) in
   let module Ec = (val Ec_group.ecc_160 ()) in
   let dl_x = Dl.pow_gen (Dl.random_scalar rng) in
+  let dl_y = Dl.pow_gen (Dl.random_scalar rng) in
   let ec_x = Ec.pow_gen (Ec.random_scalar rng) in
+  let ec_y = Ec.pow_gen (Ec.random_scalar rng) in
   let dl_e = Dl.random_scalar rng and ec_e = Ec.random_scalar rng in
+  let dl_f = Dl.random_scalar rng and ec_f = Ec.random_scalar rng in
   let f = Ppgr_dotprod.Zfield.default () in
   let fa = Ppgr_dotprod.Zfield.random rng f and fb = Ppgr_dotprod.Zfield.random rng f in
   let key = Rng.bytes rng 32 and nonce = Rng.bytes rng 12 in
@@ -32,8 +35,16 @@ let primitive_tests () =
       (Staged.stage (fun () -> ignore (Bigint.Modring.mul ring am bm)));
     Test.make ~name:"dl1024-group-mult" (Staged.stage (fun () -> ignore (Dl.mul dl_x dl_x)));
     Test.make ~name:"dl1024-exp" (Staged.stage (fun () -> ignore (Dl.pow dl_x dl_e)));
+    Test.make ~name:"dl1024-exp-fixed-base"
+      (Staged.stage (fun () -> ignore (Dl.pow_gen dl_e)));
+    Test.make ~name:"dl1024-pow2"
+      (Staged.stage (fun () -> ignore (Dl.pow2 dl_x dl_e dl_y dl_f)));
     Test.make ~name:"ecc160-point-add" (Staged.stage (fun () -> ignore (Ec.mul ec_x ec_x)));
     Test.make ~name:"ecc160-scalar-mult" (Staged.stage (fun () -> ignore (Ec.pow ec_x ec_e)));
+    Test.make ~name:"ecc160-scalar-mult-fixed-base"
+      (Staged.stage (fun () -> ignore (Ec.pow_gen ec_e)));
+    Test.make ~name:"ecc160-pow2"
+      (Staged.stage (fun () -> ignore (Ec.pow2 ec_x ec_e ec_y ec_f)));
     Test.make ~name:"zfield-mult-192b"
       (Staged.stage (fun () -> ignore (Ppgr_dotprod.Zfield.mul f fa fb)));
     Test.make ~name:"sha256-block" (Staged.stage (fun () -> ignore (Ppgr_hash.Sha256.digest_bytes block)));

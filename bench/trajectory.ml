@@ -1,0 +1,126 @@
+(* Bench trajectory: writes BENCH_PR1.json, a machine-readable record of
+   the exponentiation-engine primitives (ns/op) against their pre-engine
+   naive baselines, plus an end-to-end instrumented Phase2.run, so later
+   PRs can detect performance regressions without eyeballing tables.
+
+   The "naive" rows run through {!Group_intf.Naive}, which strips the
+   fixed-base tables and Shamir fusion and is exactly the seed
+   implementation's cost profile. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+
+let json_path = "BENCH_PR1.json"
+
+type row = { r_name : string; r_ns : float }
+
+let ns_per_call f = Calibrate.time_per_call f *. 1e9
+
+let group_rows prefix (g : Group_intf.group) rng =
+  let module G = (val g) in
+  let module N = Group_intf.Naive (G) in
+  let x = G.pow_gen (G.random_scalar rng) in
+  let y = G.pow_gen (G.random_scalar rng) in
+  let e = G.random_scalar rng and f = G.random_scalar rng in
+  (* Warm the cached generator table so the fixed-base row measures the
+     steady state, then measure construction separately. *)
+  ignore (G.pow_gen e);
+  [
+    { r_name = prefix ^ "-exp"; r_ns = ns_per_call (fun () -> ignore (G.pow x e)) };
+    {
+      r_name = prefix ^ "-exp-fixed-base";
+      r_ns = ns_per_call (fun () -> ignore (G.pow_gen e));
+    };
+    {
+      r_name = prefix ^ "-exp-naive-gen";
+      r_ns = ns_per_call (fun () -> ignore (N.pow_gen e));
+    };
+    {
+      r_name = prefix ^ "-powtable-build";
+      r_ns = ns_per_call (fun () -> ignore (G.powtable x));
+    };
+    {
+      r_name = prefix ^ "-pow2";
+      r_ns = ns_per_call (fun () -> ignore (G.pow2 x e y f));
+    };
+    {
+      r_name = prefix ^ "-pow2-naive";
+      r_ns = ns_per_call (fun () -> ignore (N.pow2 x e y f));
+    };
+  ]
+
+(* End-to-end instrumented phase 2 at production size on the production
+   DL group, engine on vs engine off, same RNG seed: the ranks must be
+   identical (the engine changes no group math), the wall-clock must
+   not regress. *)
+let phase2_e2e ~n ~l =
+  let run (g : Group_intf.group) =
+    let module G = (val g) in
+    let module P2 = Phase2.Make (G) in
+    let rng = Rng.create ~seed:"ppgr-bench-pr1-e2e" in
+    let betas =
+      Array.init n (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = P2.run rng ~l ~betas in
+    (Unix.gettimeofday () -. t0, r.P2.ranks)
+  in
+  let engine_s, ranks = run (Dl_group.dl_1024 ()) in
+  let module Dl = (val Dl_group.dl_1024 ()) in
+  let baseline_s, ranks_naive = run (module Group_intf.Naive (Dl)) in
+  (engine_s, baseline_s, ranks, ranks_naive)
+
+let run () =
+  let rng = Rng.create ~seed:"ppgr-bench-pr1" in
+  Printf.printf "\n== Bench trajectory (%s) ==\n%!" json_path;
+  let rows =
+    group_rows "dl1024" (Dl_group.dl_1024 ()) rng
+    @ group_rows "ecc160" (Ec_group.ecc_160 ()) rng
+  in
+  List.iter (fun r -> Printf.printf "%-28s %12.0f ns/op\n%!" r.r_name r.r_ns) rows;
+  let n = 8 and l = 32 in
+  Printf.printf "phase2 end-to-end (n=%d, l=%d, DL-1024) ...\n%!" n l;
+  let engine_s, baseline_s, ranks, ranks_naive = phase2_e2e ~n ~l in
+  let ranks_match = ranks = ranks_naive in
+  Printf.printf "phase2-e2e: engine %.2f s, naive baseline %.2f s (%.2fx), ranks %s\n%!"
+    engine_s baseline_s (baseline_s /. engine_s)
+    (if ranks_match then "identical" else "MISMATCH");
+  let find name = (List.find (fun r -> r.r_name = name) rows).r_ns in
+  let oc = open_out json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 1,\n";
+  out "  \"description\": \"fixed-base & simultaneous exponentiation engine\",\n";
+  out "  \"ns_per_op\": {\n";
+  List.iteri
+    (fun i r ->
+      out "    %S: %.1f%s\n" r.r_name r.r_ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  },\n";
+  out "  \"speedups\": {\n";
+  out "    \"dl1024-fixed-base-vs-seed-variable-base\": %.2f,\n"
+    (find "dl1024-exp-naive-gen" /. find "dl1024-exp-fixed-base");
+  out "    \"ecc160-fixed-base-vs-seed-variable-base\": %.2f,\n"
+    (find "ecc160-exp-naive-gen" /. find "ecc160-exp-fixed-base");
+  out "    \"dl1024-pow2-vs-two-pows\": %.2f,\n"
+    (find "dl1024-pow2-naive" /. find "dl1024-pow2");
+  out "    \"ecc160-pow2-vs-two-pows\": %.2f\n"
+    (find "ecc160-pow2-naive" /. find "ecc160-pow2");
+  out "  },\n";
+  out "  \"phase2_e2e\": {\n";
+  out "    \"n\": %d,\n" n;
+  out "    \"l\": %d,\n" l;
+  out "    \"group\": \"DL-1024\",\n";
+  out "    \"engine_wall_s\": %.3f,\n" engine_s;
+  out "    \"baseline_wall_s\": %.3f,\n" baseline_s;
+  out "    \"speedup\": %.3f,\n" (baseline_s /. engine_s);
+  out "    \"ranks\": [%s],\n"
+    (String.concat ", " (Array.to_list (Array.map string_of_int ranks)));
+  out "    \"ranks_match_baseline\": %b\n" ranks_match;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path

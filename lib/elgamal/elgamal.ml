@@ -33,10 +33,34 @@ module type S = sig
   val encrypt : Rng.t -> pubkey -> G.element -> cipher
   val decrypt : seckey -> cipher -> G.element
 
+  (** {1 Fixed-base acceleration}
+
+      Every encryption performs two full exponentiations with only two
+      distinct bases ([g] and [y]).  The generator side is always served
+      from the group's cached table; a {!keytable} adds the same
+      treatment for [y], so a caller that encrypts many times under one
+      key (the protocol encrypts [n*l] ciphertexts under the joint key)
+      builds the table once and saves the squaring chain of every
+      subsequent exponentiation. *)
+
+  type keytable
+  (** A public key together with its precomputed fixed-base table. *)
+
+  val keytable : pubkey -> keytable
+  (** Build the table; costs a few exponentiations' worth of group
+      multiplications (ticked on the group op counter). *)
+
+  val keytable_pubkey : keytable -> pubkey
+
+  val encrypt_with : Rng.t -> keytable -> G.element -> cipher
+  val rerandomize_with : Rng.t -> keytable -> cipher -> cipher
+
   (** {1 Modified (exponential, additively homomorphic) mode} *)
 
   val encrypt_exp : Rng.t -> pubkey -> Bigint.t -> cipher
   val encrypt_exp_int : Rng.t -> pubkey -> int -> cipher
+  val encrypt_exp_with : Rng.t -> keytable -> Bigint.t -> cipher
+  val encrypt_exp_int_with : Rng.t -> keytable -> int -> cipher
 
   val decrypt_exp_is_zero : seckey -> cipher -> bool
   (** True iff the plaintext integer is 0 (checks [g^M = 1]). *)
@@ -75,6 +99,13 @@ module type S = sig
   (** Raise both components to a shared random power: maps plaintext
       [m] to [r·m], preserving zero/non-zero — the step-(8) blinding. *)
 
+  val partial_decrypt_blind : Rng.t -> seckey -> cipher -> cipher
+  (** [partial_decrypt_blind rng x cph] is
+      [exponent_blind rng (partial_decrypt x cph)] fused into two
+      exponentiations instead of three: the blinded stripped component
+      [(c / c'^x)^r = c^r * c'^(-x r)] is one simultaneous [pow2].  The
+      unit of work of the step-8 decryption ring. *)
+
   val is_zero_plaintext_power : G.element -> bool
 end
 
@@ -97,10 +128,20 @@ module Make (G : Ppgr_group.Group_intf.GROUP) : S with module G = G = struct
     G.pow_gen x
   let cipher_bytes = 2 * G.element_bytes
 
+  type keytable = { kt_pub : pubkey; kt_tbl : G.powtable }
+
+  let keytable y = { kt_pub = y; kt_tbl = G.powtable y }
+  let keytable_pubkey kt = kt.kt_pub
+
   let encrypt rng y m =
     Meter.tick_n 2;
     let r = G.random_scalar rng in
     { c = G.mul m (G.pow y r); c' = G.pow_gen r }
+
+  let encrypt_with rng kt m =
+    Meter.tick_n 2;
+    let r = G.random_scalar rng in
+    { c = G.mul m (G.pow_table kt.kt_tbl r); c' = G.pow_gen r }
 
   let decrypt x { c; c' } =
     Meter.tick ();
@@ -113,14 +154,27 @@ module Make (G : Ppgr_group.Group_intf.GROUP) : S with module G = G = struct
     let r = G.random_scalar rng in
     { c = G.mul (G.pow_gen m) (G.pow y r); c' = G.pow_gen r }
 
+  let encrypt_exp_with rng kt m =
+    Meter.tick_n 2;
+    let r = G.random_scalar rng in
+    { c = G.mul (G.pow_gen m) (G.pow_table kt.kt_tbl r); c' = G.pow_gen r }
+
   let encrypt_exp_int rng y m = encrypt_exp rng y (Bigint.of_int m)
+  let encrypt_exp_int_with rng kt m = encrypt_exp_with rng kt (Bigint.of_int m)
   let plaintext_power x cph = decrypt x cph
   let is_zero_plaintext_power e = G.is_identity e
   let decrypt_exp_is_zero x cph = is_zero_plaintext_power (decrypt x cph)
   let add a b = { c = G.mul a.c b.c; c' = G.mul a.c' b.c' }
   let neg a = { c = G.inv a.c; c' = G.inv a.c' }
   let sub a b = add a (neg b)
-  let scale a k = { c = G.pow a.c k; c' = G.pow a.c' k }
+
+  let scale a k =
+    (* Two exponentiations; count them as full-size once the scalar is
+       within half the group size (small circuit constants stay in the
+       λ-independent multiplication count, per the Opmeter contract). *)
+    if 2 * Bigint.numbits k >= Bigint.numbits G.order then Meter.tick_n 2;
+    { c = G.pow a.c k; c' = G.pow a.c' k }
+
   let scale_int a k = scale a (Bigint.of_int k)
   let add_clear a k = { a with c = G.mul a.c (G.pow_gen k) }
 
@@ -128,6 +182,11 @@ module Make (G : Ppgr_group.Group_intf.GROUP) : S with module G = G = struct
     Meter.tick_n 2;
     let r = G.random_scalar rng in
     { c = G.mul a.c (G.pow y r); c' = G.mul a.c' (G.pow_gen r) }
+
+  let rerandomize_with rng kt a =
+    Meter.tick_n 2;
+    let r = G.random_scalar rng in
+    { c = G.mul a.c (G.pow_table kt.kt_tbl r); c' = G.mul a.c' (G.pow_gen r) }
 
   let joint_pubkey = function
     | [] -> invalid_arg "Elgamal.joint_pubkey: no keys"
@@ -141,4 +200,12 @@ module Make (G : Ppgr_group.Group_intf.GROUP) : S with module G = G = struct
     Meter.tick_n 2;
     let r = G.random_scalar rng in
     { c = G.pow cph.c r; c' = G.pow cph.c' r }
+
+  let partial_decrypt_blind rng x cph =
+    (* (c / c'^x)^r = c^r * c'^(q - x r): one pow2 plus the c'^r leg —
+       two logical exponentiations where strip-then-blind costs three. *)
+    Meter.tick_n 2;
+    let r = G.random_scalar rng in
+    let xr = Bigint.erem (Bigint.neg (Bigint.mul x r)) G.order in
+    { c = G.pow2 cph.c r cph.c' xr; c' = G.pow cph.c' r }
 end

@@ -40,12 +40,17 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     in
     let keys = Array.init n (fun i -> E.keygen member_rngs.(i)) in
     let joint = E.joint_pubkey (Array.to_list (Array.map snd keys)) in
+    (* One fixed-base table for the joint key serves every encryption
+       and all n^2 ring re-randomizations. *)
+    let joint_tbl = E.keytable joint in
     (* Submission. *)
-    let batch = Array.mapi (fun i m -> E.encrypt member_rngs.(i) joint m) messages in
+    let batch =
+      Array.mapi (fun i m -> E.encrypt_with member_rngs.(i) joint_tbl m) messages
+    in
     (* Shuffle ring: re-randomize and permute. *)
     for i = 0 to n - 1 do
       for c = 0 to n - 1 do
-        batch.(c) <- E.rerandomize member_rngs.(i) joint batch.(c)
+        batch.(c) <- E.rerandomize_with member_rngs.(i) joint_tbl batch.(c)
       done;
       Rng.shuffle member_rngs.(i) batch
     done;

@@ -77,7 +77,86 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
     let e = Bigint.erem e order in
     if Bigint.is_zero e then identity else pow_nonneg x e
 
-  let pow_gen e = pow generator e
+  let sqr x =
+    incr ops;
+    Bigint.Modring.sqr ring x
+
+  (* Fixed-base window table: tbl.(i).(d-1) = x^(d * 2^(w*i)) for
+     d in 1..2^w-1.  An exponentiation then needs no squarings, only one
+     multiplication per non-zero window digit. *)
+  type powtable = element array array
+
+  let table_window = Group_intf.fixed_base_window
+  let table_windows = (Bigint.numbits order + table_window - 1) / table_window
+  let digits_per_window = (1 lsl table_window) - 1
+
+  let powtable x =
+    let tbl = Array.init table_windows (fun _ -> Array.make digits_per_window x) in
+    let base = ref x in
+    for i = 0 to table_windows - 1 do
+      let row = tbl.(i) in
+      row.(0) <- !base;
+      for d = 1 to digits_per_window - 1 do
+        row.(d) <- mul row.(d - 1) !base
+      done;
+      (* Next window's base x^(2^(w*(i+1))) = (x^(2^(w-1) * 2^(w*i)))^2. *)
+      if i < table_windows - 1 then base := sqr row.((1 lsl (table_window - 1)) - 1)
+    done;
+    tbl
+
+  let pow_table tbl e =
+    let e = Bigint.erem e order in
+    if Bigint.is_zero e then identity
+    else begin
+      let digits = Group_intf.window_digits ~window:table_window e in
+      let acc = ref None in
+      Array.iteri
+        (fun i d ->
+          if d > 0 then
+            let entry = tbl.(i).(d - 1) in
+            acc := Some (match !acc with None -> entry | Some a -> mul a entry))
+        digits;
+      match !acc with None -> identity | Some a -> a
+    end
+
+  (* Shamir's trick: one shared squaring chain over the aligned wNAF-4
+     recodings of both exponents. *)
+  let pow2 a e b f =
+    let e = Bigint.erem e order and f = Bigint.erem f order in
+    if Bigint.is_zero e then pow b f
+    else if Bigint.is_zero f then pow a e
+    else begin
+      let odd_of x =
+        let x2 = sqr x in
+        let t = Array.make 4 x in
+        for i = 1 to 3 do
+          t.(i) <- mul t.(i - 1) x2
+        done;
+        t
+      in
+      let ta = odd_of a and tb = odd_of b in
+      let ia = Array.make 4 None and ib = Array.make 4 None in
+      let inv_odd t cache i =
+        match cache.(i) with
+        | Some v -> v
+        | None ->
+            let v = inv t.(i) in
+            cache.(i) <- Some v;
+            v
+      in
+      let mix acc t cache d =
+        if d = 0 then acc
+        else if d > 0 then mul acc t.(d / 2)
+        else mul acc (inv_odd t cache (-d / 2))
+      in
+      List.fold_left
+        (fun acc (da, db) -> mix (mix (sqr acc) ta ia da) tb ib db)
+        identity
+        (Group_intf.wnaf4_pair e f)
+    end
+
+  let gen_table = lazy (powtable generator)
+  let pow_gen e = pow_table (Lazy.force gen_table) e
 
   let element_bytes = (Bigint.numbits P.p + 7) / 8
 

@@ -178,6 +178,70 @@ let scalar_mul cv pt e =
       (infinity cv) digits
   end
 
+(** Fixed-base window table: [ptbl.(i).(d-1) = d * 2^(w*i) * P] for
+    digits [d] in [1..2^w-1].  A table-backed scalar multiplication then
+    needs no doublings, only one point addition per non-zero window
+    digit of the scalar. *)
+type powtable = { pw : int; ptbl : point array array }
+
+let make_powtable cv ?(window = Group_intf.fixed_base_window) pt ~bits =
+  let nwin = Stdlib.max 1 ((bits + window - 1) / window) in
+  let size = (1 lsl window) - 1 in
+  let tbl = Array.init nwin (fun _ -> Array.make size pt) in
+  let base = ref pt in
+  for i = 0 to nwin - 1 do
+    let row = tbl.(i) in
+    row.(0) <- !base;
+    for d = 1 to size - 1 do
+      row.(d) <- add cv row.(d - 1) !base
+    done;
+    (* Next window's base 2^(w*(i+1)) P = double (2^(w-1) * 2^(w*i) P). *)
+    if i < nwin - 1 then base := double cv row.((1 lsl (window - 1)) - 1)
+  done;
+  { pw = window; ptbl = tbl }
+
+let scalar_mul_table cv t e =
+  let e = Bigint.erem e cv.prm.n in
+  if Bigint.is_zero e then infinity cv
+  else begin
+    let digits = Group_intf.window_digits ~window:t.pw e in
+    if Array.length digits > Array.length t.ptbl then
+      invalid_arg "Ec_curve.scalar_mul_table: exponent wider than table";
+    let acc = ref (infinity cv) in
+    Array.iteri
+      (fun i d -> if d > 0 then acc := add cv !acc t.ptbl.(i).(d - 1))
+      digits;
+    !acc
+  end
+
+(** Shamir's trick [e*P + f*Q]: aligned wNAF-4 recodings of both scalars
+    share one doubling chain; negative digits cost nothing extra because
+    point negation is free. *)
+let scalar_mul2 cv p e q f =
+  let e = Bigint.erem e cv.prm.n and f = Bigint.erem f cv.prm.n in
+  if Bigint.is_zero e || is_infinity cv p then scalar_mul cv q f
+  else if Bigint.is_zero f || is_infinity cv q then scalar_mul cv p e
+  else begin
+    let odd_of pt =
+      let p2 = double cv pt in
+      let t = Array.make 4 pt in
+      for i = 1 to 3 do
+        t.(i) <- add cv t.(i - 1) p2
+      done;
+      t
+    in
+    let ta = odd_of p and tb = odd_of q in
+    let mix acc t d =
+      if d = 0 then acc
+      else if d > 0 then add cv acc t.(d / 2)
+      else add cv acc (neg cv t.(-d / 2))
+    in
+    List.fold_left
+      (fun acc (da, db) -> mix (mix (double cv acc) ta da) tb db)
+      (infinity cv)
+      (Group_intf.wnaf4_pair e f)
+  end
+
 (* Equality in Jacobian coordinates: cross-multiplied comparison to avoid
    inversion. *)
 let equal cv p1 p2 =

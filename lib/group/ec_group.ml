@@ -20,7 +20,17 @@ end) : Group_intf.GROUP = struct
   let mul a b = Ec_curve.add cv a b
   let inv a = Ec_curve.neg cv a
   let pow x e = Ec_curve.scalar_mul cv x e
-  let pow_gen e = pow generator e
+
+  type powtable = Ec_curve.powtable
+
+  let order_bits = Bigint.numbits order
+  let powtable pt = Ec_curve.make_powtable cv pt ~bits:order_bits
+  let pow_table t e = Ec_curve.scalar_mul_table cv t e
+  let pow2 a e b f = Ec_curve.scalar_mul2 cv a e b f
+
+  (* Cached fixed-base table for the generator, built on first use. *)
+  let gen_table = lazy (powtable generator)
+  let pow_gen e = pow_table (Lazy.force gen_table) e
   let equal a b = Ec_curve.equal cv a b
   let is_identity x = Ec_curve.is_infinity cv x
 

@@ -13,7 +13,16 @@
     where both [mults_per_exp] factors are measured.  Constant-size
     exponentiations (e.g. scaling a ciphertext by a small circuit
     constant) are deliberately not ticked; their cost is λ-independent
-    and stays in the plain multiplication count. *)
+    and stays in the plain multiplication count.
+
+    Accounting with the exponentiation engine: a fixed-base
+    [pow_table]/[pow_gen] call still counts as {e one} logical
+    exponentiation and a fused [pow2] (Shamir) call as one (two legs at
+    half each), even though both expand into fewer group
+    multiplications than a variable-base [pow] — the meter tracks the
+    λ-scaled workload of the protocol, not the micro-optimisation
+    level.  Fixed-base table construction is ticked per group
+    multiplication on the group's own op counter and never here. *)
 
 let full_exps = ref 0
 let tick () = incr full_exps

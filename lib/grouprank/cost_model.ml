@@ -114,10 +114,13 @@ module He_model = struct
 
   (** Analytic exponentiation count (cross-check for the fit; from the
       protocol structure: keygen + proof + verification + bitwise
-      encryption + ring + final decryption). *)
+      encryption + ring + final decryption).  Verification is one fused
+      simultaneous exponentiation per proof, and each ring step is a
+      fused strip-and-blind (two exponentiations per ciphertext instead
+      of three) — see the exponentiation-engine section of DESIGN.md. *)
   let analytic_exps ~n ~l =
     let n1 = n - 1 in
-    2 + (2 * n1) + (2 * l) + (3 * n1 * n1 * l) + (n1 * l)
+    2 + n1 + (2 * l) + (2 * n1 * n1 * l) + (n1 * l)
 
   (** The phase-2 message schedule, built analytically (byte counts are
       exact; per-round critical ops distributed from the model).  Party
@@ -152,7 +155,7 @@ module He_model = struct
     in
     let encrypt_round =
       {
-        Cost.critical_ops = f2i ((float_of_int ((2 * n1) + (2 * l)) *. mpe));
+        Cost.critical_ops = f2i ((float_of_int (n1 + (2 * l)) *. mpe));
         messages = Netsim.all_broadcast ~parties:n ~bytes:(l * cipher_bytes);
       }
     in
@@ -167,7 +170,7 @@ module He_model = struct
     in
     let hop_ops =
       let full =
-        (float_of_int (3 * n1 * per_set) *. mpe) +. (ring_share /. float_of_int n)
+        (float_of_int (2 * n1 * per_set) *. mpe) +. (ring_share /. float_of_int n)
       in
       f2i (if pipelined then full /. float_of_int (Stdlib.max 1 n1) else full)
     in

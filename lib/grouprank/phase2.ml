@@ -171,14 +171,21 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
                   with_party ops verifier (fun () ->
                       Z.verify_transcript ~statement:pubs.(prover) transcripts.(prover))))
       in
-      let joint = E.joint_pubkey (Array.to_list pubs) in
+      (* Every party forms the joint key itself (n-1 multiplications,
+         attributed to that party) and builds one fixed-base table for
+         it; the table serves all l step-6 encryptions. *)
+      let joint_tbls =
+        Array.init n (fun j ->
+            with_party ops j (fun () ->
+                E.keytable (E.joint_pubkey (Array.to_list pubs))))
+      in
       (* Step 6: bitwise encryption of own beta under the joint key. *)
       let bits = Array.map (fun b -> Bigint.bits_of b ~width:l) betas in
       let enc_bits =
         Array.init n (fun j ->
             with_party ops j (fun () ->
                 Array.init l (fun b ->
-                    E.encrypt_exp_int party_rngs.(j) joint bits.(j).(b))))
+                    E.encrypt_exp_int_with party_rngs.(j) joint_tbls.(j) bits.(j).(b))))
       in
       round ~critical_ops:(crit_since s2)
         (Netsim.all_broadcast ~parties:n ~bytes:(l * E.cipher_bytes));
@@ -221,8 +228,8 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
               if owner <> hop then begin
                 let set = v.(owner) in
                 for c = 0 to Array.length set - 1 do
-                  let stripped = E.partial_decrypt (fst keys.(hop)) set.(c) in
-                  set.(c) <- E.exponent_blind party_rngs.(hop) stripped
+                  set.(c) <-
+                    E.partial_decrypt_blind party_rngs.(hop) (fst keys.(hop)) set.(c)
                 done;
                 Rng.shuffle party_rngs.(hop) set
               end

@@ -33,7 +33,8 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     seckey : E.seckey;
     pub_msg : Bytes.t; (* announced public key *)
     proof_msg : Bytes.t; (* announced NI proof *)
-    mutable joint : E.pubkey option;
+    mutable joint : E.keytable option;
+        (* joint key with its fixed-base table, built at key exchange *)
     mutable zkp_failures : int list; (* indices whose proofs failed *)
   }
 
@@ -90,10 +91,10 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     in
     if p.zkp_failures <> [] then
       invalid_arg "Runtime: a key-knowledge proof failed";
-    let joint = E.joint_pubkey (Array.to_list pubs) in
+    let joint = E.keytable (E.joint_pubkey (Array.to_list pubs)) in
     p.joint <- Some joint;
     let enc =
-      Array.init p.l (fun b -> E.encrypt_exp_int p.rng joint p.beta_bits.(b))
+      Array.init p.l (fun b -> E.encrypt_exp_int_with p.rng joint p.beta_bits.(b))
     in
     W.encode_cipher_batch enc
 
@@ -139,9 +140,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         else begin
           let set = W.decode_cipher_batch set_bytes in
           let processed =
-            Array.map
-              (fun c -> E.exponent_blind p.rng (E.partial_decrypt p.seckey c))
-              set
+            Array.map (fun c -> E.partial_decrypt_blind p.rng p.seckey c) set
           in
           Rng.shuffle p.rng processed;
           W.encode_cipher_batch processed

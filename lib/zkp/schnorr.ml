@@ -50,13 +50,17 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     Bigint.erem (Bigint.add st.r (Bigint.mul secret csum)) G.order
 
   let verify ~statement ~commitment ~challenges ~response =
-    Meter.tick_n 2;
+    (* g^z = h * y^c  <=>  g^z * y^(q-c) = h: one simultaneous (Shamir)
+       exponentiation instead of two, so verification ticks one logical
+       exponentiation. *)
+    Meter.tick ();
     let csum =
       List.fold_left
         (fun acc c -> Bigint.erem (Bigint.add acc c) G.order)
         Bigint.zero challenges
     in
-    G.equal (G.pow_gen response) (G.mul commitment (G.pow statement csum))
+    let neg_csum = Bigint.erem (Bigint.neg csum) G.order in
+    G.equal commitment (G.pow2 G.generator response statement neg_csum)
 
   let verify_transcript ~statement t =
     verify ~statement ~commitment:t.commitment ~challenges:t.challenges

@@ -1,0 +1,198 @@
+(* Exponentiation-engine tests: fixed-base tables and simultaneous
+   (Shamir) exponentiation cross-checked against the naive variable-base
+   path on every group family, plus a determinism regression for the
+   instrumented phase-2 run. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+
+let rng = Rng.create ~seed:"test-pow"
+
+(* Exponent edge cases relative to a group order q: zero, one, q-1, q,
+   above q (reduction), far above q, and negative (Euclidean wrap). *)
+let edge_exponents (order : Bigint.t) =
+  [
+    Bigint.zero;
+    Bigint.one;
+    Bigint.pred order;
+    order;
+    Bigint.add_int order 5;
+    Bigint.add (Bigint.mul_int order 2) (Bigint.of_int 3);
+    Bigint.neg (Bigint.of_int 5);
+    Bigint.neg (Bigint.pred order);
+  ]
+
+let engine_suite name (g : Group_intf.group) =
+  let module G = (val g) in
+  let module N = Group_intf.Naive (G) in
+  let random_elt () = G.pow_gen (G.random_scalar rng) in
+  [
+    Alcotest.test_case (name ^ ": pow_table matches naive pow") `Quick (fun () ->
+        let x = random_elt () in
+        let tbl = G.powtable x in
+        for _ = 1 to 30 do
+          let e = G.random_scalar rng in
+          Alcotest.(check bool) "table = naive" true
+            (G.equal (G.pow_table tbl e) (N.pow x e))
+        done);
+    Alcotest.test_case (name ^ ": pow_table edge exponents") `Quick (fun () ->
+        let x = random_elt () in
+        let tbl = G.powtable x in
+        List.iter
+          (fun e ->
+            Alcotest.(check bool)
+              (Printf.sprintf "e = %s" (Bigint.to_string e))
+              true
+              (G.equal (G.pow_table tbl e) (N.pow x e)))
+          (edge_exponents G.order));
+    Alcotest.test_case (name ^ ": pow_gen matches naive generator pow") `Quick
+      (fun () ->
+        for _ = 1 to 20 do
+          let e = G.random_scalar rng in
+          Alcotest.(check bool) "fixed-base = naive" true
+            (G.equal (G.pow_gen e) (N.pow_gen e))
+        done;
+        List.iter
+          (fun e ->
+            Alcotest.(check bool)
+              (Printf.sprintf "gen edge e = %s" (Bigint.to_string e))
+              true
+              (G.equal (G.pow_gen e) (N.pow_gen e)))
+          (edge_exponents G.order));
+    Alcotest.test_case (name ^ ": pow2 matches product of naive pows") `Quick
+      (fun () ->
+        let a = random_elt () and b = random_elt () in
+        for _ = 1 to 30 do
+          let e = G.random_scalar rng and f = G.random_scalar rng in
+          Alcotest.(check bool) "pow2 = pow*pow" true
+            (G.equal (G.pow2 a e b f) (N.pow2 a e b f))
+        done);
+    Alcotest.test_case (name ^ ": pow2 edge exponents") `Quick (fun () ->
+        let a = random_elt () and b = random_elt () in
+        let edges = edge_exponents G.order in
+        List.iter
+          (fun e ->
+            List.iter
+              (fun f ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "e = %s, f = %s" (Bigint.to_string e)
+                     (Bigint.to_string f))
+                  true
+                  (G.equal (G.pow2 a e b f) (N.pow2 a e b f)))
+              edges)
+          edges);
+    Alcotest.test_case (name ^ ": pow2 with identity bases") `Quick (fun () ->
+        let a = random_elt () in
+        let e = G.random_scalar rng and f = G.random_scalar rng in
+        Alcotest.(check bool) "identity left leg" true
+          (G.equal (G.pow2 G.identity e a f) (N.pow a f));
+        Alcotest.(check bool) "identity right leg" true
+          (G.equal (G.pow2 a e G.identity f) (N.pow a e)));
+    Alcotest.test_case (name ^ ": table ops are counted") `Quick (fun () ->
+        G.reset_op_count ();
+        let x = random_elt () in
+        let before = G.op_count () in
+        let tbl = G.powtable x in
+        let built = G.op_count () in
+        Alcotest.(check bool) "construction ticks mul" true (built > before);
+        ignore (G.pow_table tbl (G.random_scalar rng));
+        Alcotest.(check bool) "evaluation ticks mul" true (G.op_count () > built));
+    Alcotest.test_case (name ^ ": fixed-base cheaper than variable-base") `Quick
+      (fun () ->
+        (* The whole point of the engine: a table-served exponentiation
+           must expand into strictly fewer group operations. *)
+        let x = random_elt () in
+        let tbl = G.powtable x in
+        let e = G.random_scalar rng in
+        G.reset_op_count ();
+        ignore (G.pow_table tbl e);
+        let fixed = G.op_count () in
+        G.reset_op_count ();
+        ignore (G.pow x e);
+        let variable = G.op_count () in
+        Alcotest.(check bool)
+          (Printf.sprintf "fixed %d < variable %d" fixed variable)
+          true (fixed < variable));
+  ]
+
+(* QCheck properties on small int exponents, where an independent
+   reference (repeated squaring over ints is unnecessary — the naive
+   group pow is an already-tested independent code path). *)
+let engine_props =
+  let module G = (val Dl_group.dl_test_64 ()) in
+  let module N = Group_intf.Naive (G) in
+  let x = G.pow_gen (Bigint.of_int 7) in
+  let tbl = G.powtable x in
+  let prop name gen f =
+    QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+  in
+  [
+    prop "pow_table agrees on arbitrary int exponents"
+      QCheck2.Gen.(int_range 0 max_int)
+      (fun e ->
+        let e = Bigint.of_int e in
+        G.equal (G.pow_table tbl e) (N.pow x e));
+    prop "pow2 agrees on arbitrary int exponent pairs"
+      QCheck2.Gen.(pair (int_range 0 max_int) (int_range 0 max_int))
+      (fun (e, f) ->
+        let e = Bigint.of_int e and f = Bigint.of_int f in
+        G.equal (G.pow2 x e (G.pow_gen Bigint.two) f)
+          (N.pow2 x e (G.pow_gen Bigint.two) f));
+  ]
+
+(* Phase-2 regression: the engine must not change what the protocol
+   computes, and the instrumented counters must stay deterministic for a
+   fixed RNG seed (fresh group module per run so the lazily built
+   generator table is attributed identically). *)
+let phase2_regression =
+  let run_once () =
+    let module G = (val Dl_group.dl_test_64 ()) in
+    let module P2 = Phase2.Make (G) in
+    let rng = Rng.create ~seed:"pow-phase2-regression" in
+    let l = 12 in
+    let betas =
+      Array.init 6 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+    in
+    let r = P2.run rng ~l ~betas in
+    (r.P2.ranks, r.P2.per_party_ops, r.P2.per_party_exps)
+  in
+  [
+    Alcotest.test_case "Phase2.run is deterministic under the engine" `Quick
+      (fun () ->
+        let r1, o1, e1 = run_once () in
+        let r2, o2, e2 = run_once () in
+        Alcotest.(check (array int)) "ranks" r1 r2;
+        Alcotest.(check (array int)) "per-party ops" o1 o2;
+        Alcotest.(check (array int)) "per-party exps" e1 e2);
+    Alcotest.test_case "Phase2 ranks agree with the naive engine" `Quick
+      (fun () ->
+        (* Same protocol, same RNG stream, engine on vs off: identical
+           ranks prove the fused/table paths change no group math. *)
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module NG = Group_intf.Naive (G) in
+        let module P2 = Phase2.Make (G) in
+        let module P2N = Phase2.Make (NG) in
+        let l = 10 in
+        let mk_betas rng =
+          Array.init 5 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+        in
+        let rng1 = Rng.create ~seed:"pow-phase2-vs-naive" in
+        let fast = P2.run rng1 ~l ~betas:(mk_betas rng1) in
+        let rng2 = Rng.create ~seed:"pow-phase2-vs-naive" in
+        let naive = P2N.run rng2 ~l ~betas:(mk_betas rng2) in
+        Alcotest.(check (array int)) "ranks" naive.P2N.ranks fast.P2.ranks);
+  ]
+
+let () =
+  Alcotest.run "pow-engine"
+    [
+      ("dl-test-64", engine_suite "DL-test-64" (Dl_group.dl_test_64 ()));
+      ("dl-test-128", engine_suite "DL-test-128" (Dl_group.dl_test_128 ()));
+      ("dl-1024", engine_suite "DL-1024" (Dl_group.dl_1024 ()));
+      ("ecc-tiny", engine_suite "ECC-tiny" (Ec_group.ecc_tiny ()));
+      ("ecc-160", engine_suite "ECC-160" (Ec_group.ecc_160 ()));
+      ("props", engine_props);
+      ("phase2-regression", phase2_regression);
+    ]
