@@ -41,11 +41,11 @@ let group (g : Group_intf.group) rng : group_cal =
        figure. *)
     let samples = 30 in
     ignore (G.pow_gen (G.random_scalar rng));
-    G.reset_op_count ();
+    let s = G.op_snapshot () in
     for _ = 1 to samples do
       ignore (G.pow_gen (G.random_scalar rng))
     done;
-    float_of_int (G.op_count ()) /. float_of_int samples
+    float_of_int (G.ops_since s) /. float_of_int samples
   in
   {
     g_name = G.name;

@@ -266,11 +266,11 @@ let ablations () =
   header "Ablation: ECC-160 scalar mult, wNAF-4 vs double-and-add" [ "point ops" ];
   let module E160 = (val Ec_group.ecc_160 ()) in
   let x = E160.pow_gen (E160.random_scalar rng) in
-  E160.reset_op_count ();
+  let s = E160.op_snapshot () in
   for _ = 1 to 20 do
     ignore (E160.pow x (E160.random_scalar rng))
   done;
-  let wnaf_ops = float_of_int (E160.op_count ()) /. 20. in
+  let wnaf_ops = float_of_int (E160.ops_since s) /. 20. in
   (* Binary double-and-add through the group interface. *)
   let binary_pow e =
     let open Ppgr_bigint in
@@ -281,10 +281,10 @@ let ablations () =
     done;
     !acc
   in
-  E160.reset_op_count ();
+  let s = E160.op_snapshot () in
   for _ = 1 to 20 do
     ignore (binary_pow (E160.random_scalar rng))
   done;
-  let bin_ops = float_of_int (E160.op_count ()) /. 20. in
+  let bin_ops = float_of_int (E160.ops_since s) /. 20. in
   row "wNAF-4" [ wnaf_ops ];
   row "binary" [ bin_ops ]

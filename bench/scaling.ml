@@ -1,0 +1,161 @@
+(* Multicore scaling: writes BENCH_PR2.json, a machine-readable record
+   of the parallel hot loops' wall time under jobs in {1, 2, 4, N}
+   (N = recommended domain count), together with proof that the results
+   are byte-identical at every job count — the determinism contract of
+   the execution layer.  The [smoke] section is the cheap CI variant on
+   a test group: it asserts equality and prints timings but writes no
+   file.
+
+   Honest-numbers note: speedups here are whatever the hardware gives.
+   On a single-core container every job count does the same sequential
+   work plus scheduling overhead; the JSON records the detected core
+   count so a reader can interpret the ratios. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+module Pool = Ppgr_exec.Pool
+
+let json_path = "BENCH_PR2.json"
+
+type point = {
+  p_jobs : int;
+  phase2_s : float;
+  mixnet_s : float;
+  powtable_s : float;
+  sssort_s : float;
+  ranks : int array;
+  ops : int array; (* phase-2 per-party group ops *)
+  exps : int array; (* phase-2 per-party exponentiations *)
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* One full sweep at a given job count.  A fresh group module per point
+   keeps the op meters and the cached generator table cold, so every
+   job count performs identical work from an identical start. *)
+let run_point (gfam : unit -> Group_intf.group) ~n ~l ~sort_n ~sort_l jobs =
+  Pool.set_jobs jobs;
+  let module G = (val gfam ()) in
+  let module P2 = Phase2.Make (G) in
+  let module M = Ppgr_elgamal.Mixnet.Make (G) in
+  let rng = Rng.create ~seed:"ppgr-bench-pr2" in
+  let betas =
+    Array.init n (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+  in
+  let phase2_s, r = time (fun () -> P2.run rng ~l ~betas) in
+  let msgs = Array.init n (fun _ -> G.pow_gen (G.random_scalar rng)) in
+  let mixnet_s, _ = time (fun () -> M.collect rng msgs) in
+  let x = G.pow_gen (G.random_scalar rng) in
+  let powtable_s, _ = time (fun () -> G.powtable x) in
+  let f = Ppgr_dotprod.Zfield.default () in
+  let e = Ppgr_shamir.Engine.create rng f ~n:5 in
+  let prm = Ppgr_shamir.Compare.default_params ~l:sort_l () in
+  let inputs =
+    Array.init sort_n (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight sort_l))
+  in
+  let sssort_s, _ = time (fun () -> Ppgr_shamir.Ss_sort.rank_via_sort e prm inputs) in
+  Pool.set_jobs 1;
+  {
+    p_jobs = jobs;
+    phase2_s;
+    mixnet_s;
+    powtable_s;
+    sssort_s;
+    ranks = r.P2.ranks;
+    ops = r.P2.per_party_ops;
+    exps = r.P2.per_party_exps;
+  }
+
+let same_results a b = a.ranks = b.ranks && a.ops = b.ops && a.exps = b.exps
+
+let job_counts () =
+  let n = Domain.recommended_domain_count () in
+  List.sort_uniq Stdlib.compare [ 1; 2; 4; n ]
+
+let print_point p =
+  Printf.printf
+    "jobs=%-2d  phase2 %7.2f s   mixnet %6.2f s   powtable %6.3f s   ss-sort %6.2f s\n%!"
+    p.p_jobs p.phase2_s p.mixnet_s p.powtable_s p.sssort_s
+
+let sweep gfam ~n ~l ~sort_n ~sort_l =
+  List.map
+    (fun jobs ->
+      let p = run_point gfam ~n ~l ~sort_n ~sort_l jobs in
+      print_point p;
+      p)
+    (job_counts ())
+
+(* The cheap CI variant: test-size group, asserts the determinism
+   contract and fails loudly if any job count disagrees with jobs=1. *)
+let smoke () =
+  Printf.printf "\n== Scaling smoke (DL-test-128, n=5, l=8) ==\n%!";
+  Printf.printf "cores detected: %d\n%!" (Domain.recommended_domain_count ());
+  let points =
+    List.map
+      (fun jobs ->
+        let p = run_point Dl_group.dl_test_128 ~n:5 ~l:8 ~sort_n:6 ~sort_l:6 jobs in
+        print_point p;
+        p)
+      [ 1; 2 ]
+  in
+  let base = List.hd points in
+  List.iter
+    (fun p ->
+      if not (same_results base p) then
+        failwith
+          (Printf.sprintf "scaling smoke: jobs=%d results differ from jobs=1"
+             p.p_jobs))
+    points;
+  Printf.printf "results identical across job counts: ok\n%!"
+
+let run () =
+  Printf.printf "\n== Multicore scaling (%s) ==\n%!" json_path;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "cores detected: %d, job counts: %s\n%!" cores
+    (String.concat ", " (List.map string_of_int (job_counts ())));
+  let n = 8 and l = 32 in
+  Printf.printf "phase2 n=%d l=%d on DL-1024; mixnet n=%d; ss-sort n=8 l=8\n%!" n l n;
+  let points = sweep Dl_group.dl_1024 ~n ~l ~sort_n:8 ~sort_l:8 in
+  let base = List.hd points in
+  let identical = List.for_all (same_results base) points in
+  Printf.printf "results identical across job counts: %s\n%!"
+    (if identical then "yes" else "NO - DETERMINISM BUG");
+  let oc = open_out json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 2,\n";
+  out "  \"description\": \"multicore execution layer: domain pool scaling\",\n";
+  out "  \"cores_detected\": %d,\n" cores;
+  out "  \"group\": \"DL-1024\",\n";
+  out "  \"phase2_n\": %d,\n" n;
+  out "  \"phase2_l\": %d,\n" l;
+  out "  \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      out
+        "    {\"jobs\": %d, \"phase2_s\": %.3f, \"mixnet_s\": %.3f, \
+         \"powtable_s\": %.4f, \"sssort_s\": %.3f}%s\n"
+        p.p_jobs p.phase2_s p.mixnet_s p.powtable_s p.sssort_s
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  out "  ],\n";
+  out "  \"speedup_vs_jobs1\": [\n";
+  List.iteri
+    (fun i p ->
+      out "    {\"jobs\": %d, \"phase2\": %.3f, \"mixnet\": %.3f}%s\n" p.p_jobs
+        (base.phase2_s /. p.phase2_s)
+        (base.mixnet_s /. p.mixnet_s)
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  out "  ],\n";
+  out "  \"ranks\": [%s],\n"
+    (String.concat ", " (Array.to_list (Array.map string_of_int base.ranks)));
+  out "  \"results_identical_across_jobs\": %b\n" identical;
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path

@@ -80,10 +80,8 @@ let find_c ~bits ~progress =
     inv2.(i) <- (sp + 1) / 2
   done;
   let rng = Rng.create ~seed:"gen-modp" in
-  let rand = Rng.as_prime_rand rng in
   let mr_calls = ref 0 in
-  let rec search c =
-    if c mod 100_000 = 0 && c > 0 then progress c !mr_calls;
+  let passes_sieve c =
     let ok = ref true in
     let i = ref 0 in
     while !ok && !i < np do
@@ -97,17 +95,39 @@ let find_c ~bits ~progress =
       end;
       incr i
     done;
-    if not !ok then search (c + 1)
+    !ok
+  in
+  (* Sieve survivors are Miller–Rabin-tested in parallel batches; each
+     candidate draws witnesses from its own child stream keyed by [c],
+     and the smallest passing candidate of a batch wins, so the chosen
+     [c] is independent of the job count. *)
+  let test_candidate c =
+    let crng = Rng.split rng ~label:(Printf.sprintf "cand-%d" c) in
+    let rand = Rng.as_prime_rand crng in
+    let p = add p0 (mul two64 (of_int c)) in
+    let q = shift_right (pred p) 1 in
+    if Prime.is_probable_prime ~rounds:4 rand q
+       && Prime.is_probable_prime ~rounds:4 rand p
+    then Some (c, p)
+    else None
+  in
+  let batch_size = Stdlib.max 8 (4 * Ppgr_exec.Pool.jobs ()) in
+  let rec collect c acc k =
+    if k = 0 then (List.rev acc, c)
     else begin
-      incr mr_calls;
-      let p = add p0 (mul two64 (of_int c)) in
-      let q = shift_right (pred p) 1 in
-      if
-        Prime.is_probable_prime ~rounds:4 rand q
-        && Prime.is_probable_prime ~rounds:4 rand p
-      then (c, p)
-      else search (c + 1)
+      if c mod 100_000 = 0 && c > 0 then progress c !mr_calls;
+      if passes_sieve c then collect (c + 1) (c :: acc) (k - 1)
+      else collect (c + 1) acc k
     end
+  in
+  let rec search c0 =
+    let survivors, next_c = collect c0 [] batch_size in
+    let survivors = Array.of_list survivors in
+    mr_calls := !mr_calls + Array.length survivors;
+    let results = Ppgr_exec.Pool.parallel_map test_candidate survivors in
+    match Array.find_opt (fun r -> r <> None) results with
+    | Some (Some cp) -> cp
+    | _ -> search next_c
   in
   search 0
 

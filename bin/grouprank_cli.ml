@@ -56,6 +56,18 @@ let h_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-phase cost counters.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel hot loops (0 = all recommended \
+     cores).  Defaults to the PPGR_JOBS environment variable, else 1.  \
+     Results are identical at any job count; only wall time changes."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"K" ~doc)
+
+let apply_jobs = function
+  | None -> () (* leave PPGR_JOBS (or the default of 1) in charge *)
+  | Some k -> Ppgr_exec.Pool.set_jobs k
+
 let parse_spec s =
   match String.split_on_char ',' s with
   | [ m; t; d1; d2 ] ->
@@ -63,7 +75,8 @@ let parse_spec s =
         ~d1:(int_of_string d1) ~d2:(int_of_string d2)
   | _ -> failwith "spec must be m,t,d1,d2"
 
-let run_cmd group_name n k seed spec_s h verbose =
+let run_cmd group_name n k seed spec_s h verbose jobs =
+  apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
   let spec = parse_spec spec_s in
   let criterion = Attrs.random_criterion rng spec in
@@ -108,7 +121,8 @@ let run_cmd group_name n k seed spec_s h verbose =
   end;
   Printf.printf "\nwall clock: %.3f s\n" dt
 
-let simulate_cmd group_name n k seed nodes edges =
+let simulate_cmd group_name n k seed nodes edges jobs =
+  apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
   let spec = parse_spec "4,2,8,4" in
   let criterion = Attrs.random_criterion rng spec in
@@ -141,7 +155,7 @@ let inspect_cmd group_name =
 let run_term =
   Term.(
     const run_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ spec_arg $ h_arg
-    $ verbose_arg)
+    $ verbose_arg $ jobs_arg)
 
 let nodes_arg =
   Arg.(value & opt int 80 & info [ "nodes" ] ~docv:"V" ~doc:"Topology nodes.")
@@ -150,7 +164,9 @@ let edges_arg =
   Arg.(value & opt int 320 & info [ "edges" ] ~docv:"E" ~doc:"Topology edges.")
 
 let simulate_term =
-  Term.(const simulate_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ nodes_arg $ edges_arg)
+  Term.(
+    const simulate_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ nodes_arg
+    $ edges_arg $ jobs_arg)
 
 let inspect_term = Term.(const inspect_cmd $ group_arg)
 

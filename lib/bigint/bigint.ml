@@ -4,9 +4,12 @@
 
 type t = { sg : int; mg : int array }
 
-let mul_counter = ref 0
-let mul_count () = !mul_counter
-let reset_counters () = mul_counter := 0
+(* A mergeable per-domain meter: bignum multiplications tick from pool
+   workers during parallel hot loops, and the summed read is identical
+   whether the work ran on 1 domain or many. *)
+let mul_counter = Ppgr_exec.Meter.create ()
+let mul_count () = Ppgr_exec.Meter.read mul_counter
+let reset_counters () = Ppgr_exec.Meter.reset mul_counter
 
 let make sg mg = if Mag.is_zero mg then { sg = 0; mg = Mag.zero } else { sg; mg }
 
@@ -61,7 +64,7 @@ let succ a = add a one
 let pred a = sub a one
 
 let mul a b =
-  incr mul_counter;
+  Ppgr_exec.Meter.incr mul_counter;
   if a.sg = 0 || b.sg = 0 then zero
   else make (a.sg * b.sg) (Mag.mul a.mg b.mg)
 
@@ -240,7 +243,7 @@ module Mont = struct
   (* CIOS Montgomery multiplication: result = a * b * R^{-1} mod m.
      Inputs are w-limb padded arrays; output is w-limb padded. *)
   let mont_mul ctx (a : int array) (b : int array) =
-    mul_counter := !mul_counter + 1;
+    Ppgr_exec.Meter.incr mul_counter;
     let w = ctx.w and m = ctx.m and m' = ctx.m' in
     let t = Array.make (w + 2) 0 in
     for i = 0 to w - 1 do
@@ -326,17 +329,26 @@ module Mont = struct
 end
 
 (* Cache Montgomery contexts per modulus: exponentiations in a protocol
-   run hit the same handful of moduli thousands of times. *)
+   run hit the same handful of moduli thousands of times.  The cache is
+   shared across domains (parallel Miller-Rabin rounds hit it), so the
+   Hashtbl hides behind a mutex; the lock cost is noise next to even one
+   Montgomery multiplication at cryptographic sizes. *)
 let mont_cache : (string, Mont.ctx) Hashtbl.t = Hashtbl.create 8
+let mont_cache_lock = Mutex.create ()
 
 let mont_ctx_for (m : int array) =
   let key = Mag.to_string_hex m in
-  match Hashtbl.find_opt mont_cache key with
-  | Some ctx -> ctx
-  | None ->
-      let ctx = Mont.create m in
-      Hashtbl.add mont_cache key ctx;
-      ctx
+  Mutex.lock mont_cache_lock;
+  let ctx =
+    match Hashtbl.find_opt mont_cache key with
+    | Some ctx -> ctx
+    | None ->
+        let ctx = Mont.create m in
+        Hashtbl.add mont_cache key ctx;
+        ctx
+  in
+  Mutex.unlock mont_cache_lock;
+  ctx
 
 let powmod_generic b e m =
   (* Square-and-multiply with explicit reduction; used for even moduli. *)

@@ -69,26 +69,33 @@ let is_probable_prime ?(rounds = 32) (rand : rand) n =
           let n1 = sub n one in
           let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
           let d, s = split n1 0 in
+          (* Witness rounds are independent, so they fan out over the
+             domain pool.  The random witnesses are drawn sequentially
+             from [rand] first (the stream consumption is therefore
+             schedule-independent), then every round runs in parallel;
+             a composite fails some round either way. *)
+          let det_witnesses =
+            Array.of_list
+              (List.filter
+                 (fun w -> compare (of_int w) n1 < 0)
+                 deterministic_witnesses)
+          in
           let det_ok =
-            List.for_all
-              (fun w ->
-                let a = of_int w in
-                if compare a n1 >= 0 then true else mr_round n d s a)
-              deterministic_witnesses
+            Array.for_all Fun.id
+              (Ppgr_exec.Pool.parallel_map
+                 (fun w -> mr_round n d s (of_int w))
+                 det_witnesses)
           in
           if not det_ok then false
           else if numbits n <= 81 then true
             (* Sorenson–Webster: the 12 smallest primes are a complete
                witness set below 3.3e24 (~2^81). *)
           else begin
-            let rec rand_rounds i =
-              if i >= rounds then true
-              else begin
-                let a = add (rand (sub n (of_int 3))) two in
-                if mr_round n d s a then rand_rounds (i + 1) else false
-              end
+            let witnesses =
+              Array.init rounds (fun _ -> add (rand (sub n (of_int 3))) two)
             in
-            rand_rounds 0
+            Array.for_all Fun.id
+              (Ppgr_exec.Pool.parallel_map (fun a -> mr_round n d s a) witnesses)
           end
         end
   end

@@ -12,7 +12,7 @@ type t = {
   p : Bigint.t;
   ring : Bigint.Modring.ctx;
   half : Bigint.t; (* floor(P/2), the signed-decoding threshold *)
-  mults : int ref;
+  mults : Ppgr_exec.Meter.t; (* per-domain lanes, merged on read *)
 }
 
 let create p =
@@ -22,7 +22,7 @@ let create p =
     p;
     ring = Bigint.Modring.ctx ~modulus:p;
     half = Bigint.shift_right p 1;
-    mults = ref 0;
+    mults = Ppgr_exec.Meter.create ();
   }
 
 (* A fixed 192-bit prime (2^192 - 237): the default field, large enough
@@ -33,8 +33,8 @@ let default_prime =
 let default () = create default_prime
 
 let modulus f = f.p
-let mult_count f = !(f.mults)
-let reset_mult_count f = f.mults := 0
+let mult_count f = Ppgr_exec.Meter.read f.mults
+let reset_mult_count f = Ppgr_exec.Meter.reset f.mults
 
 let reduce f v = Bigint.erem v f.p
 let of_int f v = reduce f (Bigint.of_int v)
@@ -43,7 +43,7 @@ let sub f a b = reduce f (Bigint.sub a b)
 let neg f a = reduce f (Bigint.neg a)
 
 let mul f a b =
-  incr f.mults;
+  Ppgr_exec.Meter.incr f.mults;
   let open Bigint.Modring in
   leave f.ring (mul f.ring (enter f.ring a) (enter f.ring b))
 

@@ -47,18 +47,25 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     let batch =
       Array.mapi (fun i m -> E.encrypt_with member_rngs.(i) joint_tbl m) messages
     in
-    (* Shuffle ring: re-randomize and permute. *)
+    (* Shuffle ring: re-randomize and permute.  Each ciphertext slot
+       re-randomizes under its own child stream keyed by position, so
+       the per-hop work fans out over the domain pool with a transcript
+       independent of the job count; the shuffle then draws from the
+       member's own stream, which splitting leaves undisturbed. *)
     for i = 0 to n - 1 do
-      for c = 0 to n - 1 do
-        batch.(c) <- E.rerandomize_with member_rngs.(i) joint_tbl batch.(c)
-      done;
+      let slot_rngs =
+        Array.init n (fun c ->
+            Rng.split member_rngs.(i) ~label:(Printf.sprintf "rr-%d" c))
+      in
+      Ppgr_exec.Pool.parallel_for n (fun c ->
+          batch.(c) <- E.rerandomize_with slot_rngs.(c) joint_tbl batch.(c));
       Rng.shuffle member_rngs.(i) batch
     done;
-    (* Decryption ring: strip each member's layer. *)
+    (* Decryption ring: strip each member's layer (deterministic, so the
+       slots are embarrassingly parallel). *)
     for i = 0 to n - 1 do
-      for c = 0 to n - 1 do
-        batch.(c) <- E.partial_decrypt (fst keys.(i)) batch.(c)
-      done
+      Ppgr_exec.Pool.parallel_for n (fun c ->
+          batch.(c) <- E.partial_decrypt (fst keys.(i)) batch.(c))
     done;
     {
       plaintexts = Array.map (fun cph -> cph.E.c) batch;

@@ -1,0 +1,32 @@
+(* One padded lane per domain: lane [slot] starts at [slot * stride] so
+   that two domains never share a cache line (8 words = 64 bytes), which
+   matters because group-op meters tick on every multiplication. *)
+
+let max_slot = 64
+let stride = 8
+
+type t = int array
+
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let set_slot s = Domain.DLS.set slot_key s
+let create () = Array.make ((max_slot + 1) * stride) 0
+
+let add (t : t) k =
+  let i = Domain.DLS.get slot_key * stride in
+  t.(i) <- t.(i) + k
+
+let incr t = add t 1
+
+let read (t : t) =
+  let acc = ref 0 in
+  for s = 0 to max_slot do
+    acc := !acc + t.(s * stride)
+  done;
+  !acc
+
+let reset (t : t) = Array.fill t 0 (Array.length t) 0
+
+type snapshot = int
+
+let snapshot = read
+let since t s = read t - s

@@ -1,0 +1,197 @@
+let max_jobs = Meter.max_slot
+
+(* ---- Job-count resolution ---- *)
+
+let clamp j = if j < 1 then 1 else if j > max_jobs then max_jobs else j
+
+let env_jobs =
+  lazy
+    (match Sys.getenv_opt "PPGR_JOBS" with
+    | None | Some "" -> 1
+    | Some ("0" | "auto") -> clamp (Domain.recommended_domain_count ())
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some 0 -> clamp (Domain.recommended_domain_count ())
+        | Some k -> clamp k
+        | None -> 1))
+
+let override = ref None
+let jobs () = match !override with Some j -> j | None -> Lazy.force env_jobs
+
+(* ---- The pool ---- *)
+
+type batch = { run : int -> unit; next : int Atomic.t; total : int }
+
+type pool = {
+  m : Mutex.t;
+  work : Condition.t; (* workers: a new generation is ready *)
+  idle : Condition.t; (* caller: all workers left the current batch *)
+  mutable batch : batch option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let in_task_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_parallel_task () = Domain.DLS.get in_task_key
+
+let drain b =
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.total then begin
+      Domain.DLS.set in_task_key true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_task_key false)
+        (fun () -> b.run i);
+      go ()
+    end
+  in
+  go ()
+
+let worker p slot () =
+  Meter.set_slot slot;
+  let rec loop last_gen =
+    Mutex.lock p.m;
+    while (not p.stop) && p.generation = last_gen do
+      Condition.wait p.work p.m
+    done;
+    if p.stop then Mutex.unlock p.m
+    else begin
+      let gen = p.generation in
+      let b = match p.batch with Some b -> b | None -> assert false in
+      Mutex.unlock p.m;
+      drain b;
+      Mutex.lock p.m;
+      p.active <- p.active - 1;
+      if p.active = 0 then Condition.broadcast p.idle;
+      Mutex.unlock p.m;
+      loop gen
+    end
+  in
+  loop 0
+
+let the_pool = ref None
+let exit_hook = ref false
+
+let teardown () =
+  match !the_pool with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.m;
+      p.stop <- true;
+      Condition.broadcast p.work;
+      Mutex.unlock p.m;
+      Array.iter Domain.join p.workers;
+      the_pool := None
+
+let shutdown = teardown
+
+let get_pool () =
+  let needed = jobs () - 1 in
+  (match !the_pool with
+  | Some p when Array.length p.workers <> needed -> teardown ()
+  | _ -> ());
+  match !the_pool with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          m = Mutex.create ();
+          work = Condition.create ();
+          idle = Condition.create ();
+          batch = None;
+          generation = 0;
+          active = 0;
+          stop = false;
+          workers = [||];
+        }
+      in
+      p.workers <- Array.init needed (fun k -> Domain.spawn (worker p (k + 1)));
+      the_pool := Some p;
+      if not !exit_hook then begin
+        exit_hook := true;
+        at_exit teardown
+      end;
+      p
+
+let set_jobs j =
+  let j = if j <= 0 then clamp (Domain.recommended_domain_count ()) else clamp j in
+  if jobs () <> j then teardown ();
+  override := Some j
+
+(* ---- Combinators ---- *)
+
+let run_batch b =
+  let p = get_pool () in
+  Mutex.lock p.m;
+  p.batch <- Some b;
+  p.active <- Array.length p.workers;
+  p.generation <- p.generation + 1;
+  Condition.broadcast p.work;
+  Mutex.unlock p.m;
+  drain b;
+  Mutex.lock p.m;
+  while p.active > 0 do
+    Condition.wait p.idle p.m
+  done;
+  p.batch <- None;
+  Mutex.unlock p.m
+
+(* First-failing-index exception, matching what the sequential loop
+   would have raised first. *)
+let reraise_min failure =
+  match Atomic.get failure with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let record_failure failure i e bt =
+  let rec go () =
+    match Atomic.get failure with
+    | Some (i0, _, _) when i0 <= i -> ()
+    | cur -> if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then go ()
+  in
+  go ()
+
+let parallel_init n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if n = 0 then [||]
+  else if jobs () = 1 || n = 1 || in_parallel_task () then begin
+    (* Exact sequential path, ascending order. *)
+    let r0 = f 0 in
+    let out = Array.make n r0 in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let run i =
+      try results.(i) <- Some (f i)
+      with e -> record_failure failure i e (Printexc.get_raw_backtrace ())
+    in
+    run_batch { run; next = Atomic.make 0; total = n };
+    reraise_min failure;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map f a = parallel_init (Array.length a) (fun i -> f a.(i))
+
+let parallel_for n f =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative length";
+  if n = 0 then ()
+  else if jobs () = 1 || n = 1 || in_parallel_task () then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let failure = Atomic.make None in
+    let run i =
+      try f i
+      with e -> record_failure failure i e (Printexc.get_raw_backtrace ())
+    in
+    run_batch { run; next = Atomic.make 0; total = n };
+    reraise_min failure
+  end

@@ -30,12 +30,17 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
   let identity = Bigint.Modring.one ring
   let generator = Bigint.Modring.enter ring P.g
 
-  let ops = ref 0
-  let op_count () = !ops
-  let reset_op_count () = ops := 0
+  (* A mergeable per-domain meter: ticks arrive from pool workers during
+     parallel hot loops and the summed read equals the sequential
+     count. *)
+  let ops = Ppgr_exec.Meter.create ()
+  let op_count () = Ppgr_exec.Meter.read ops
+  let reset_op_count () = Ppgr_exec.Meter.reset ops
+  let op_snapshot () = Ppgr_exec.Meter.snapshot ops
+  let ops_since s = Ppgr_exec.Meter.since ops s
 
   let mul a b =
-    incr ops;
+    Ppgr_exec.Meter.incr ops;
     Bigint.Modring.mul ring a b
 
   let equal a b = Bigint.Modring.equal ring a b
@@ -43,7 +48,7 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
 
   let inv x =
     (* Via the group structure: x^(q-1); counted through [mul]. *)
-    incr ops;
+    Ppgr_exec.Meter.incr ops;
     Bigint.Modring.inv ring x
 
   let pow_nonneg x e =
@@ -78,7 +83,7 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
     if Bigint.is_zero e then identity else pow_nonneg x e
 
   let sqr x =
-    incr ops;
+    Ppgr_exec.Meter.incr ops;
     Bigint.Modring.sqr ring x
 
   (* Fixed-base window table: tbl.(i).(d-1) = x^(d * 2^(w*i)) for
@@ -92,16 +97,32 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
 
   let powtable x =
     let tbl = Array.init table_windows (fun _ -> Array.make digits_per_window x) in
+    (* Sequential squaring spine: the doubling entries x^(2^k * 2^(w*i))
+       of every row, and each next window's base, come from squarings
+       alone; everything left is per-window fill chains that only read
+       the spine, so they fan out over the domain pool.  The reshape
+       keeps the construction at the sequential chain's exact cost: per
+       window (w-1) spine squarings + 1 next-base squaring + 2^w-1-w
+       chain multiplications = 2^w-1 ops, one fewer for the last
+       window. *)
     let base = ref x in
     for i = 0 to table_windows - 1 do
       let row = tbl.(i) in
       row.(0) <- !base;
-      for d = 1 to digits_per_window - 1 do
-        row.(d) <- mul row.(d - 1) !base
+      for k = 1 to table_window - 1 do
+        row.((1 lsl k) - 1) <- sqr row.((1 lsl (k - 1)) - 1)
       done;
       (* Next window's base x^(2^(w*(i+1))) = (x^(2^(w-1) * 2^(w*i)))^2. *)
       if i < table_windows - 1 then base := sqr row.((1 lsl (table_window - 1)) - 1)
     done;
+    let nchains = table_window - 1 in
+    Ppgr_exec.Pool.parallel_for (table_windows * nchains) (fun t ->
+        let row = tbl.(t / nchains) in
+        let k = (t mod nchains) + 1 in
+        let hi = Stdlib.min ((1 lsl (k + 1)) - 2) (digits_per_window - 1) in
+        for d = 1 lsl k to hi do
+          row.(d) <- mul row.(d - 1) row.(0)
+        done);
     tbl
 
   let pow_table tbl e =
@@ -155,8 +176,27 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
         (Group_intf.wnaf4_pair e f)
     end
 
-  let gen_table = lazy (powtable generator)
-  let pow_gen e = pow_table (Lazy.force gen_table) e
+  (* Double-checked mutex memo: [Lazy.force] is unsafe under concurrent
+     forcing from pool workers (it raises [Undefined]). *)
+  let gen_table = Atomic.make None
+  let gen_table_lock = Mutex.create ()
+
+  let gen_powtable () =
+    match Atomic.get gen_table with
+    | Some t -> t
+    | None ->
+        Mutex.lock gen_table_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock gen_table_lock)
+          (fun () ->
+            match Atomic.get gen_table with
+            | Some t -> t
+            | None ->
+                let t = powtable generator in
+                Atomic.set gen_table (Some t);
+                t)
+
+  let pow_gen e = pow_table (gen_powtable ()) e
 
   let element_bytes = (Bigint.numbits P.p + 7) / 8
 

@@ -27,7 +27,7 @@ type curve = {
   ca : Modring.elt;
   cb : Modring.elt;
   a_is_minus3 : bool;
-  ops : int ref; (* point additions/doublings performed *)
+  ops : Ppgr_exec.Meter.t; (* point additions/doublings performed *)
 }
 
 type point = {
@@ -45,7 +45,7 @@ let make_curve prm =
     ca;
     cb = Modring.enter fp prm.b;
     a_is_minus3 = Bigint.equal (Bigint.erem prm.a prm.p) (Bigint.sub prm.p (Bigint.of_int 3));
-    ops = ref 0;
+    ops = Ppgr_exec.Meter.create ();
   }
 
 let infinity cv = { x = Modring.one cv.fp; y = Modring.one cv.fp; z = Modring.zero cv.fp }
@@ -88,7 +88,7 @@ let neg cv pt =
 let double cv pt =
   if is_infinity cv pt || Modring.is_zero cv.fp pt.y then infinity cv
   else begin
-    incr cv.ops;
+    Ppgr_exec.Meter.incr cv.ops;
     let f = cv.fp in
     let xx = Modring.sqr f pt.x in
     let yy = Modring.sqr f pt.y in
@@ -133,7 +133,7 @@ let add cv p1 p2 =
       if Modring.equal f s1 s2 then double cv p1 else infinity cv
     end
     else begin
-      incr cv.ops;
+      Ppgr_exec.Meter.incr cv.ops;
       let h = Modring.sub f u2 u1 in
       let i = Modring.sqr f (Modring.double f h) in
       let j = Modring.mul f h i in
@@ -188,16 +188,30 @@ let make_powtable cv ?(window = Group_intf.fixed_base_window) pt ~bits =
   let nwin = Stdlib.max 1 ((bits + window - 1) / window) in
   let size = (1 lsl window) - 1 in
   let tbl = Array.init nwin (fun _ -> Array.make size pt) in
+  (* Sequential doubling spine (the 2^k multiples of every row and each
+     next window's base), then per-window fill chains that only read the
+     spine fan out over the domain pool.  Cost is identical to the
+     sequential chain: per window (w-1) spine doublings + 1 next-base
+     doubling + 2^w-1-w chain additions = 2^w-1 ops, one fewer for the
+     last window. *)
   let base = ref pt in
   for i = 0 to nwin - 1 do
     let row = tbl.(i) in
     row.(0) <- !base;
-    for d = 1 to size - 1 do
-      row.(d) <- add cv row.(d - 1) !base
+    for k = 1 to window - 1 do
+      row.((1 lsl k) - 1) <- double cv row.((1 lsl (k - 1)) - 1)
     done;
     (* Next window's base 2^(w*(i+1)) P = double (2^(w-1) * 2^(w*i) P). *)
     if i < nwin - 1 then base := double cv row.((1 lsl (window - 1)) - 1)
   done;
+  let nchains = window - 1 in
+  Ppgr_exec.Pool.parallel_for (nwin * nchains) (fun t ->
+      let row = tbl.(t / nchains) in
+      let k = (t mod nchains) + 1 in
+      let hi = Stdlib.min ((1 lsl (k + 1)) - 2) (size - 1) in
+      for d = 1 lsl k to hi do
+        row.(d) <- add cv row.(d - 1) row.(0)
+      done);
   { pw = window; ptbl = tbl }
 
 let scalar_mul_table cv t e =

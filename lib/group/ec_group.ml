@@ -28,9 +28,28 @@ end) : Group_intf.GROUP = struct
   let pow_table t e = Ec_curve.scalar_mul_table cv t e
   let pow2 a e b f = Ec_curve.scalar_mul2 cv a e b f
 
-  (* Cached fixed-base table for the generator, built on first use. *)
-  let gen_table = lazy (powtable generator)
-  let pow_gen e = pow_table (Lazy.force gen_table) e
+  (* Cached fixed-base table for the generator, built on first use.
+     Double-checked mutex memo: [Lazy.force] is unsafe under concurrent
+     forcing from pool workers. *)
+  let gen_table = Atomic.make None
+  let gen_table_lock = Mutex.create ()
+
+  let gen_powtable () =
+    match Atomic.get gen_table with
+    | Some t -> t
+    | None ->
+        Mutex.lock gen_table_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock gen_table_lock)
+          (fun () ->
+            match Atomic.get gen_table with
+            | Some t -> t
+            | None ->
+                let t = powtable generator in
+                Atomic.set gen_table (Some t);
+                t)
+
+  let pow_gen e = pow_table (gen_powtable ()) e
   let equal a b = Ec_curve.equal cv a b
   let is_identity x = Ec_curve.is_infinity cv x
 
@@ -66,8 +85,10 @@ end) : Group_intf.GROUP = struct
     | Some (ax, ay) -> Format.fprintf fmt "(%a, %a)" Bigint.pp ax Bigint.pp ay
 
   let random_scalar rng = Bigint.succ (Rng.bigint_below rng (Bigint.pred order))
-  let op_count () = !(cv.Ec_curve.ops)
-  let reset_op_count () = cv.Ec_curve.ops := 0
+  let op_count () = Ppgr_exec.Meter.read cv.Ec_curve.ops
+  let reset_op_count () = Ppgr_exec.Meter.reset cv.Ec_curve.ops
+  let op_snapshot () = Ppgr_exec.Meter.snapshot cv.Ec_curve.ops
+  let ops_since s = Ppgr_exec.Meter.since cv.Ec_curve.ops s
 end
 
 let of_params params : Group_intf.group =

@@ -79,6 +79,14 @@ module type GROUP = sig
   (** Group multiplications performed since the last reset. *)
 
   val reset_op_count : unit -> unit
+
+  val op_snapshot : unit -> int
+  (** Current absolute multiplication count, for delta accounting that
+      must not disturb concurrent readers the way a reset would. *)
+
+  val ops_since : int -> int
+  (** [ops_since s] is the multiplications performed since the
+      {!op_snapshot} that returned [s]. *)
 end
 
 type group = (module GROUP)
@@ -158,4 +166,6 @@ module Naive (G : GROUP) : GROUP with type element = G.element = struct
   let random_scalar = G.random_scalar
   let op_count = G.op_count
   let reset_op_count = G.reset_op_count
+  let op_snapshot = G.op_snapshot
+  let ops_since = G.ops_since
 end

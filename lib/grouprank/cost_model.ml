@@ -74,11 +74,11 @@ module He_model = struct
   let measure_mpe (g : Ppgr_group.Group_intf.group) ~samples rng =
     let module G = (val g) in
     let x = G.pow_gen (G.random_scalar rng) in
-    G.reset_op_count ();
+    let s = G.op_snapshot () in
     for _ = 1 to samples do
       ignore (G.pow x (G.random_scalar rng))
     done;
-    float_of_int (G.op_count ()) /. float_of_int samples
+    float_of_int (G.ops_since s) /. float_of_int samples
 
   let fit ?(ns = [ 3; 4; 5 ]) rng ~l =
     let pts =

@@ -31,8 +31,16 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         if (not (List.mem i honest)) && not (Bigint.equal a betas_b.(i)) then
           invalid_arg "Games: colluder betas must agree between branches")
       betas_a;
-    let ra = (P2.run (Rng.split rng ~label:"branch-a") ~l ~betas:betas_a).P2.ranks in
-    let rb = (P2.run (Rng.split rng ~label:"branch-b") ~l ~betas:betas_b).P2.ranks in
+    (* Both branches start from explicitly reset meters, so the
+       per-party counts each run reports are branch-local and can be
+       compared between the two views. *)
+    let fresh_run rng ~betas =
+      G.reset_op_count ();
+      Ppgr_group.Opmeter.reset ();
+      P2.run rng ~l ~betas
+    in
+    let ra = (fresh_run (Rng.split rng ~label:"branch-a") ~betas:betas_a).P2.ranks in
+    let rb = (fresh_run (Rng.split rng ~label:"branch-b") ~betas:betas_b).P2.ranks in
     let ok = ref true in
     for i = 0 to n - 1 do
       if (not (List.mem i honest)) && ra.(i) <> rb.(i) then ok := false

@@ -57,14 +57,17 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   }
 
   (* Track each party's group operations and full exponentiations by
-     sampling the global meters around that party's local computation
-     (execution is sequential in this simulation). *)
+     snapshotting the global meters around that party's local
+     computation.  Parties still execute one at a time in this
+     simulation; a party's own hot loops may fan out over the domain
+     pool, whose per-domain meter lanes all land in the same party's
+     delta. *)
   let with_party2 ops exps j f =
-    let before = G.op_count () in
-    let before_e = Ppgr_group.Opmeter.count () in
+    let before = G.op_snapshot () in
+    let before_e = Ppgr_group.Opmeter.snapshot () in
     let r = f () in
-    ops.(j) <- ops.(j) + (G.op_count () - before);
-    exps.(j) <- exps.(j) + (Ppgr_group.Opmeter.count () - before_e);
+    ops.(j) <- ops.(j) + G.ops_since before;
+    exps.(j) <- exps.(j) + Ppgr_group.Opmeter.since before_e;
     r
 
   (* The homomorphic identity E(0) with zero randomness; a valid
@@ -107,6 +110,42 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         let one_minus = E.add_clear (E.neg gamma.(b)) Bigint.one in
         let omega = E.add (E.scale_int one_minus (l - b)) suffixes.(b) in
         if own_bits.(b) = 0 then omega else E.add_clear omega Bigint.one)
+
+  (** Step-6 unit: the bitwise encryption of one party's masked gain.
+      Bit [b] encrypts under its own child stream of [rng] keyed by
+      position, so the bits fan out over the domain pool with a
+      transcript independent of the job count. *)
+  let encrypt_bits rng tbl (bits : int array) =
+    let bit_rngs =
+      Array.init (Array.length bits) (fun b ->
+          Rng.split rng ~label:(Printf.sprintf "enc-bit-%d" b))
+    in
+    Ppgr_exec.Pool.parallel_init (Array.length bits) (fun b ->
+        E.encrypt_exp_int_with bit_rngs.(b) tbl bits.(b))
+
+  (** Step-7 unit: [P_self]'s comparison circuits against every other
+      party's encrypted bits.  The circuit is a deterministic
+      homomorphic evaluation, so the [n-1] pairs are embarrassingly
+      parallel. *)
+  let compare_all ?(naive_omega = false) ~l ~own_bits ~self
+      (all_enc_bits : E.cipher array array) =
+    Ppgr_exec.Pool.parallel_init (Array.length all_enc_bits) (fun i ->
+        if i = self then None
+        else Some (compare_circuit ~naive_omega ~l ~own_bits all_enc_bits.(i)))
+
+  (** Step-8 unit: one ring hop over one owner's set — strip a key
+      layer and blind every slot, then permute.  Each slot draws from
+      its own child stream of [rng] keyed by position; the final
+      shuffle draws from [rng] itself, which the splits leave
+      undisturbed. *)
+  let blind_set rng secret (set : E.cipher array) =
+    let slot_rngs =
+      Array.init (Array.length set) (fun c ->
+          Rng.split rng ~label:(Printf.sprintf "blind-%d" c))
+    in
+    Ppgr_exec.Pool.parallel_for (Array.length set) (fun c ->
+        set.(c) <- E.partial_decrypt_blind slot_rngs.(c) secret set.(c));
+    Rng.shuffle rng set
 
   let run ?(naive_omega = false) rng ~l ~(betas : Bigint.t array) : result =
     let n = Array.length betas in
@@ -184,8 +223,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       let enc_bits =
         Array.init n (fun j ->
             with_party ops j (fun () ->
-                Array.init l (fun b ->
-                    E.encrypt_exp_int_with party_rngs.(j) joint_tbls.(j) bits.(j).(b))))
+                encrypt_bits party_rngs.(j) joint_tbls.(j) bits.(j)))
       in
       round ~critical_ops:(crit_since s2)
         (Netsim.all_broadcast ~parties:n ~bytes:(l * E.cipher_bytes));
@@ -197,12 +235,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
            owned by j.  The inner option keeps indexing regular. *)
         Array.init n (fun j ->
             with_party ops j (fun () ->
-                Array.init n (fun i ->
-                    if i = j then None
-                    else
-                      Some
-                        (compare_circuit ~naive_omega ~l ~own_bits:bits.(j)
-                           enc_bits.(i)))))
+                compare_all ~naive_omega ~l ~own_bits:bits.(j) ~self:j enc_bits))
       in
       let per_set_ciphers = (n - 1) * l in
       round ~critical_ops:(crit_since s3)
@@ -225,14 +258,11 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         let s_hop = snap () in
         with_party ops hop (fun () ->
             for owner = 0 to n - 1 do
-              if owner <> hop then begin
-                let set = v.(owner) in
-                for c = 0 to Array.length set - 1 do
-                  set.(c) <-
-                    E.partial_decrypt_blind party_rngs.(hop) (fst keys.(hop)) set.(c)
-                done;
-                Rng.shuffle party_rngs.(hop) set
-              end
+              if owner <> hop then
+                blind_set
+                  (Rng.split party_rngs.(hop)
+                     ~label:(Printf.sprintf "hop-owner-%d" owner))
+                  (fst keys.(hop)) v.(owner)
             done);
         if hop < n - 1 then
           round ~critical_ops:(crit_since s_hop)
@@ -253,7 +283,10 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       let zero_flags =
         Array.init n (fun j ->
             with_party ops j (fun () ->
-                Array.map (fun cph -> E.decrypt_exp_is_zero (fst keys.(j)) cph) v.(j)))
+                let sk = fst keys.(j) in
+                Ppgr_exec.Pool.parallel_map
+                  (fun cph -> E.decrypt_exp_is_zero sk cph)
+                  v.(j)))
       in
       let ranks =
         Array.map

@@ -93,8 +93,15 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       invalid_arg "Runtime: a key-knowledge proof failed";
     let joint = E.keytable (E.joint_pubkey (Array.to_list pubs)) in
     p.joint <- Some joint;
+    (* Each bit encrypts under its own child stream keyed by position,
+       so the bits fan out over the domain pool with a transcript
+       independent of the job count. *)
+    let bit_rngs =
+      Array.init p.l (fun b -> Rng.split p.rng ~label:(Printf.sprintf "enc-bit-%d" b))
+    in
     let enc =
-      Array.init p.l (fun b -> E.encrypt_exp_int_with p.rng joint p.beta_bits.(b))
+      Ppgr_exec.Pool.parallel_init p.l (fun b ->
+          E.encrypt_exp_int_with bit_rngs.(b) joint p.beta_bits.(b))
     in
     W.encode_cipher_batch enc
 
@@ -122,8 +129,9 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       this party's comparison sets, flattened in owner order with own
       slot empty, as one message to P_1. *)
   let compare_all p ~(enc_msgs : Bytes.t array) : Bytes.t =
+    (* Deterministic homomorphic evaluation: the n-1 pairs fan out. *)
     let sets =
-      Array.init p.n (fun i ->
+      Ppgr_exec.Pool.parallel_init p.n (fun i ->
           if i = p.index then [||]
           else compare_circuit p (W.decode_cipher_batch enc_msgs.(i)))
     in
@@ -139,10 +147,22 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         if owner = p.index then set_bytes
         else begin
           let set = W.decode_cipher_batch set_bytes in
-          let processed =
-            Array.map (fun c -> E.partial_decrypt_blind p.rng p.seckey c) set
+          (* Per-owner child stream, then one stream per slot: the
+             blinding exponents fan out over the pool and the closing
+             shuffle draws from the owner stream the splits left
+             undisturbed. *)
+          let orng =
+            Rng.split p.rng ~label:(Printf.sprintf "hop-owner-%d" owner)
           in
-          Rng.shuffle p.rng processed;
+          let slot_rngs =
+            Array.init (Array.length set) (fun c ->
+                Rng.split orng ~label:(Printf.sprintf "blind-%d" c))
+          in
+          let processed =
+            Ppgr_exec.Pool.parallel_init (Array.length set) (fun c ->
+                E.partial_decrypt_blind slot_rngs.(c) p.seckey set.(c))
+          in
+          Rng.shuffle orng processed;
           W.encode_cipher_batch processed
         end)
       v_msgs
@@ -151,11 +171,10 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       off the rank. *)
   let finish p ~(own_set : Bytes.t) : int =
     let set = W.decode_cipher_batch own_set in
-    let zeros =
-      Array.fold_left
-        (fun acc c -> if E.decrypt_exp_is_zero p.seckey c then acc + 1 else acc)
-        0 set
+    let flags =
+      Ppgr_exec.Pool.parallel_map (fun c -> E.decrypt_exp_is_zero p.seckey c) set
     in
+    let zeros = Array.fold_left (fun acc z -> if z then acc + 1 else acc) 0 flags in
     zeros + 1
 
   type stats = {

@@ -87,6 +87,35 @@ let reset_costs e =
   e.randoms <- 0;
   Zfield.reset_mult_count e.f
 
+(** A child engine for one independent task of a parallel batch: its
+    randomness is a split of the parent's stream under [label] (so the
+    transcript does not depend on how tasks interleave) and its ledger
+    starts at zero over the same field; {!absorb} folds the counters
+    back in.  Round counting becomes the caller's business: a batch of
+    forked comparators that would run in lockstep should be absorbed as
+    the {e maximum} of the children's rounds, which is what the sorting
+    layer does. *)
+let fork e ~label =
+  {
+    e with
+    rng = Rng.split e.rng ~label;
+    mults = 0;
+    rounds = 0;
+    field_elements_sent = 0;
+    opens = 0;
+    randoms = 0;
+  }
+
+(** Fold a {!fork}ed child's additive counters into the parent.
+    [rounds] defaults to the child's own count (sequential composition);
+    pass the batch-wide maximum when the children ran in lockstep. *)
+let absorb ?rounds e child =
+  e.mults <- e.mults + child.mults;
+  e.rounds <- e.rounds + Option.value rounds ~default:child.rounds;
+  e.field_elements_sent <- e.field_elements_sent + child.field_elements_sent;
+  e.opens <- e.opens + child.opens;
+  e.randoms <- e.randoms + child.randoms
+
 (** {1 Linear (communication-free) operations} *)
 
 let of_public e v : shared =

@@ -40,6 +40,17 @@ type costs = {
 val costs : t -> costs
 val reset_costs : t -> unit
 
+val fork : t -> label:string -> t
+(** A child engine for one independent task of a parallel batch: same
+    field, randomness split off the parent's stream under [label],
+    ledger zeroed.  The field-multiplication meter is shared (it is
+    per-domain-mergeable), so only the protocol counters fork. *)
+
+val absorb : ?rounds:int -> t -> t -> unit
+(** [absorb e child] folds a {!fork}ed child's counters back into [e].
+    [?rounds] overrides the round contribution — pass the batch-wide
+    maximum for children that ran in lockstep. *)
+
 (** {1 Linear (communication-free) operations} *)
 
 val of_public : t -> Bigint.t -> shared

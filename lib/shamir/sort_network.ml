@@ -63,15 +63,24 @@ let depth (net : network) = List.length net
     tests, and to validate networks via the 0-1 principle). *)
 let apply_plain (net : network) ~compare (a : 'a array) =
   let a = Array.copy a in
+  let exchange (i, j) =
+    if compare a.(i) a.(j) > 0 then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    end
+  in
+  (* Comparators of a layer touch disjoint wires, so wide layers fan
+     out over the domain pool; the cutoff keeps small layers (where a
+     batch dispatch would dominate the comparisons) sequential. *)
+  let parallel_cutoff = 64 in
   List.iter
     (fun layer ->
-      List.iter
-        (fun (i, j) ->
-          if compare a.(i) a.(j) > 0 then begin
-            let tmp = a.(i) in
-            a.(i) <- a.(j);
-            a.(j) <- tmp
-          end)
-        layer)
+      let width = List.length layer in
+      if width < parallel_cutoff then List.iter exchange layer
+      else begin
+        let arr = Array.of_list layer in
+        Ppgr_exec.Pool.parallel_for width (fun c -> exchange arr.(c))
+      end)
     net;
   a

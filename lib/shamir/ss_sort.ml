@@ -16,26 +16,41 @@ type costs = Engine.costs
 let sort e prm (values : Engine.shared array) : Engine.shared array =
   let a = Array.copy values in
   let net = Sort_network.generate (Array.length a) in
-  List.iter
-    (fun layer ->
-      (* Comparisons of one layer run in parallel. *)
-      let bits =
-        List.map (fun (i, j) -> Compare.ge e prm a.(i) a.(j)) layer
+  List.iteri
+    (fun li layer ->
+      (* Comparisons of one layer touch disjoint wire pairs, so they
+         fan out over the domain pool: each comparator runs on a child
+         engine forked under a stable (layer, slot) label, and the
+         children's ledgers are absorbed back in slot order, keeping
+         transcript and costs independent of the job count. *)
+      let layer_arr = Array.of_list layer in
+      let subs =
+        Array.mapi
+          (fun ci _ -> Engine.fork e ~label:(Printf.sprintf "sort-%d-%d" li ci))
+          layer_arr
       in
+      let bits =
+        Ppgr_exec.Pool.parallel_init (Array.length layer_arr) (fun ci ->
+            let i, j = layer_arr.(ci) in
+            Compare.ge subs.(ci) prm a.(i) a.(j))
+      in
+      Array.iter (fun sub -> Engine.absorb e sub) subs;
       (* lo = x - b (x - y); hi = y + b (x - y). *)
       let diffs =
-        List.map2
-          (fun (i, j) b -> (b, Engine.sub e a.(i) a.(j)))
-          layer bits
+        Array.to_list
+          (Array.mapi
+             (fun ci (i, j) -> (bits.(ci), Engine.sub e a.(i) a.(j)))
+             layer_arr)
       in
       let prods = Engine.mul_batch e diffs in
-      List.iter2
-        (fun (i, j) p ->
+      List.iteri
+        (fun ci p ->
+          let i, j = layer_arr.(ci) in
           let lo = Engine.sub e a.(i) p in
           let hi = Engine.add e a.(j) p in
           a.(i) <- lo;
           a.(j) <- hi)
-        layer prods)
+        prods)
     net;
   a
 

@@ -1,0 +1,210 @@
+(* Multicore execution layer: the domain pool's combinators, mergeable
+   meters, and — the contract everything else rests on — byte-identical
+   protocol results at any job count.  Every jobs=k run is compared
+   against the jobs=1 run of the same seed on fresh modules. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+module Pool = Ppgr_exec.Pool
+module Meter = Ppgr_exec.Meter
+
+(* ---- Pool combinators ---- *)
+
+let pool_suite =
+  [
+    Alcotest.test_case "jobs override round-trips" `Quick (fun () ->
+        Pool.set_jobs 4;
+        Alcotest.(check int) "set 4" 4 (Pool.jobs ());
+        Pool.set_jobs 1;
+        Alcotest.(check int) "set 1" 1 (Pool.jobs ()));
+    Alcotest.test_case "parallel_init matches Array.init" `Quick (fun () ->
+        Pool.set_jobs 4;
+        let expect = Array.init 100 (fun i -> (i * i) + 1) in
+        let got = Pool.parallel_init 100 (fun i -> (i * i) + 1) in
+        Pool.set_jobs 1;
+        Alcotest.(check (array int)) "results in slot order" expect got);
+    Alcotest.test_case "parallel_map matches Array.map" `Quick (fun () ->
+        Pool.set_jobs 4;
+        let a = Array.init 57 string_of_int in
+        let got = Pool.parallel_map String.length a in
+        Pool.set_jobs 1;
+        Alcotest.(check (array int)) "lengths" (Array.map String.length a) got);
+    Alcotest.test_case "parallel_for touches every disjoint slot once" `Quick
+      (fun () ->
+        Pool.set_jobs 4;
+        let hits = Array.make 200 0 in
+        Pool.parallel_for 200 (fun i -> hits.(i) <- hits.(i) + 1);
+        Pool.set_jobs 1;
+        Alcotest.(check (array int)) "each exactly once" (Array.make 200 1) hits);
+    Alcotest.test_case "lowest-index exception wins" `Quick (fun () ->
+        Pool.set_jobs 4;
+        Alcotest.check_raises "first failing task's exception"
+          (Failure "boom-3") (fun () ->
+            ignore
+              (Pool.parallel_init 64 (fun i ->
+                   if i = 3 || i = 47 then failwith (Printf.sprintf "boom-%d" i)
+                   else i)));
+        (* The pool survives a failed batch. *)
+        let ok = Pool.parallel_init 8 (fun i -> i * 2) in
+        Pool.set_jobs 1;
+        Alcotest.(check (array int)) "pool reusable after failure"
+          (Array.init 8 (fun i -> i * 2))
+          ok);
+    Alcotest.test_case "nested combinators degrade to sequential" `Quick
+      (fun () ->
+        Pool.set_jobs 4;
+        let got =
+          Pool.parallel_init 6 (fun i ->
+              Alcotest.(check bool) "inner sees task context" true
+                (Pool.in_parallel_task ());
+              Array.fold_left ( + ) 0 (Pool.parallel_init 10 (fun j -> i + j)))
+        in
+        Pool.set_jobs 1;
+        let expect = Array.init 6 (fun i -> (10 * i) + 45) in
+        Alcotest.(check (array int)) "nested sums" expect got);
+    Alcotest.test_case "meter lanes merge to the sequential count" `Quick
+      (fun () ->
+        Pool.set_jobs 4;
+        let m = Meter.create () in
+        Pool.parallel_for 500 (fun i -> Meter.add m (i mod 7));
+        Pool.set_jobs 1;
+        let expect = Array.fold_left ( + ) 0 (Array.init 500 (fun i -> i mod 7)) in
+        Alcotest.(check int) "merged read" expect (Meter.read m);
+        let s = Meter.snapshot m in
+        Meter.incr m;
+        Alcotest.(check int) "since snapshot" 1 (Meter.since m s);
+        Meter.reset m;
+        Alcotest.(check int) "reset" 0 (Meter.read m));
+  ]
+
+(* ---- Protocol-level determinism: jobs=1 vs jobs=4 ---- *)
+
+let phase2_suite =
+  let run_once jobs =
+    Pool.set_jobs jobs;
+    (* Fresh module per run: its op meters and generator table start
+       cold, so counts are self-contained and comparable. *)
+    let module G = (val Dl_group.dl_test_64 ()) in
+    let module P2 = Phase2.Make (G) in
+    let rng = Rng.create ~seed:"parallel-phase2" in
+    let l = 12 in
+    let betas =
+      Array.init 6 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+    in
+    let r = P2.run rng ~l ~betas in
+    Pool.set_jobs 1;
+    ( r.P2.ranks,
+      r.P2.per_party_ops,
+      r.P2.per_party_exps,
+      r.P2.zero_flags,
+      List.map
+        (fun (rd : Cost.round) ->
+          ( rd.Cost.critical_ops,
+            (List.length rd.Cost.messages, Cost.total_bytes [ rd ]) ))
+        r.P2.schedule )
+  in
+  [
+    Alcotest.test_case "phase-2 results identical at jobs=1 and jobs=4" `Quick
+      (fun () ->
+        let ra, oa, ea, za, sa = run_once 1 in
+        let rb, ob, eb, zb, sb = run_once 4 in
+        Alcotest.(check (array int)) "ranks" ra rb;
+        Alcotest.(check (array int)) "per-party ops" oa ob;
+        Alcotest.(check (array int)) "per-party exps" ea eb;
+        Alcotest.(check (array (array bool)))
+          "zero-flag transcript (post-permutation positions)" za zb;
+        Alcotest.(check (list (pair int (pair int int))))
+          "schedule (critical ops, messages, bytes per round)" sa sb)
+  ]
+
+let runtime_suite =
+  let run_once jobs =
+    Pool.set_jobs jobs;
+    let module G = (val Dl_group.dl_test_64 ()) in
+    let module R = Runtime.Make (G) in
+    let rng = Rng.create ~seed:"parallel-runtime" in
+    let l = 10 in
+    let betas =
+      Array.init 5 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+    in
+    let s = R.run rng ~l ~betas in
+    Pool.set_jobs 1;
+    (s.R.ranks, s.R.bytes_on_wire, s.R.messages)
+  in
+  [
+    Alcotest.test_case "message-passing runtime identical at jobs=1 and jobs=4"
+      `Quick (fun () ->
+        let ra, ba, ma = run_once 1 in
+        let rb, bb, mb = run_once 4 in
+        Alcotest.(check (array int)) "ranks" ra rb;
+        Alcotest.(check int) "bytes on wire" ba bb;
+        Alcotest.(check int) "messages" ma mb);
+  ]
+
+let mixnet_suite =
+  let run_once jobs =
+    Pool.set_jobs jobs;
+    let module G = (val Dl_group.dl_test_64 ()) in
+    let module M = Ppgr_elgamal.Mixnet.Make (G) in
+    let rng = Rng.create ~seed:"parallel-mixnet" in
+    let messages = Array.init 6 (fun _ -> G.pow_gen (G.random_scalar rng)) in
+    let r = M.collect rng messages in
+    Pool.set_jobs 1;
+    ( Array.map (fun x -> Bytes.to_string (G.to_bytes x)) r.M.plaintexts,
+      Array.map (fun x -> Bytes.to_string (G.to_bytes x)) messages )
+  in
+  [
+    Alcotest.test_case "mixnet output identical at jobs=1 and jobs=4" `Quick
+      (fun () ->
+        let pa, ma = run_once 1 in
+        let pb, _ = run_once 4 in
+        Alcotest.(check (array string))
+          "plaintext batch (order included)" pa pb;
+        Alcotest.(check (list string))
+          "multiset of messages survives"
+          (List.sort compare (Array.to_list ma))
+          (List.sort compare (Array.to_list pa)));
+  ]
+
+let shamir_suite =
+  let run_once jobs =
+    Pool.set_jobs jobs;
+    let f = Ppgr_dotprod.Zfield.default () in
+    let rng = Rng.create ~seed:"parallel-shamir" in
+    let e = Ppgr_shamir.Engine.create rng f ~n:5 in
+    let prm = Ppgr_shamir.Compare.default_params ~l:8 () in
+    let inputs = Array.init 7 (fun _ -> Rng.bigint_below rng (Bigint.of_int 200)) in
+    let ranks = Ppgr_shamir.Ss_sort.rank_via_sort e prm inputs in
+    let c = Ppgr_shamir.Engine.costs e in
+    Pool.set_jobs 1;
+    ( ranks,
+      ( c.Ppgr_shamir.Engine.c_mults,
+        c.Ppgr_shamir.Engine.c_rounds,
+        c.Ppgr_shamir.Engine.c_elements,
+        c.Ppgr_shamir.Engine.c_field_mults ) )
+  in
+  [
+    Alcotest.test_case "shared sort identical at jobs=1 and jobs=4" `Quick
+      (fun () ->
+        let ra, ca = run_once 1 in
+        let rb, cb = run_once 4 in
+        Alcotest.(check (array int)) "ranks" ra rb;
+        Alcotest.(check (pair int (pair int (pair int int))))
+          "engine ledger (mults, rounds, elements, field mults)"
+          (let m, r, el, fm = ca in
+           (m, (r, (el, fm))))
+          (let m, r, el, fm = cb in
+           (m, (r, (el, fm)))));
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ("pool", pool_suite);
+      ("phase2", phase2_suite);
+      ("runtime", runtime_suite);
+      ("mixnet", mixnet_suite);
+      ("shamir", shamir_suite);
+    ]
