@@ -6,8 +6,8 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig3a   # a subset
    Sections: calibrate fig2 fig3a fig3b analysis ablations micro trajectory
-   scaling scaling-smoke (the last is the cheap CI determinism check and
-   is not part of the default set) *)
+   scaling obs scaling-smoke (the last is the cheap CI determinism check
+   and is not part of the default set) *)
 
 let sections_requested =
   match Array.to_list Sys.argv with
@@ -15,7 +15,7 @@ let sections_requested =
   | _ ->
       [
         "calibrate"; "fig2"; "fig3a"; "fig3b"; "analysis"; "ablations"; "micro";
-        "trajectory"; "scaling";
+        "trajectory"; "scaling"; "obs";
       ]
 
 let want s = List.mem s sections_requested
@@ -51,5 +51,6 @@ let () =
   if want "micro" then Micro.run ();
   if want "trajectory" then Trajectory.run ();
   if want "scaling" then Scaling.run ();
+  if want "obs" then Obs.run ();
   if want "scaling-smoke" then Scaling.smoke ();
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,133 @@
+(* Observability bench: one traced end-to-end framework run per group
+   level, written to BENCH_PR3.json as a per-phase breakdown — full
+   exponentiations, group multiplications, on-wire bytes and wall time
+   for every protocol step, with totals cross-checked against the
+   global meters (the same tiling invariant the CLI's --metrics check
+   enforces).
+
+   Sizes are deliberately small (DL-1024 exponentiations dominate): the
+   point of this section is the attribution, not the absolute load —
+   the scaling section stresses volume. *)
+
+open Ppgr_grouprank
+module Trace = Ppgr_obs.Trace
+module Metrics = Ppgr_obs.Metrics
+module Summary = Ppgr_obs.Summary
+
+let json_path = "BENCH_PR3.json"
+let n = 5
+let k = 2
+let h = 6
+let spec = Attrs.spec ~m:2 ~t:1 ~d1:4 ~d2:2
+
+type run = {
+  group_name : string;
+  wall_s : float;
+  span_count : int;
+  phases : Summary.row list; (* one row per span name, parties collapsed *)
+  tot_exps : int;
+  tot_mults : int;
+  tot_bytes : int;
+  consistent : bool;
+}
+
+let traced_run (g : Ppgr_group.Group_intf.group) : run =
+  let module G = (val g) in
+  let rng = Ppgr_rng.Rng.create ~seed:"ppgr-bench-obs" in
+  let criterion = Attrs.random_criterion rng spec in
+  let infos = Array.init n (fun _ -> Attrs.random_info rng spec) in
+  let cfg = Framework.config ~h ~spec ~k () in
+  Metrics.register ~name:"exps" (fun () -> Ppgr_group.Opmeter.count ());
+  Metrics.register ~name:"group_mults" (fun () -> G.op_count ());
+  Fun.protect ~finally:(fun () ->
+      Metrics.unregister ~name:"exps";
+      Metrics.unregister ~name:"group_mults")
+  @@ fun () ->
+  let exps0 = Ppgr_group.Opmeter.count () in
+  let mults0 = G.op_count () in
+  let t0 = Unix.gettimeofday () in
+  let out, spans =
+    Trace.capture (fun () -> Framework.run_with_group g rng cfg ~criterion ~infos)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let rows = Summary.rows spans in
+  let tot_exps = Summary.total rows "exps" in
+  let tot_mults = Summary.total rows "group_mults" in
+  let tot_bytes = Summary.total rows "bytes_out" in
+  let consistent =
+    tot_exps = Ppgr_group.Opmeter.count () - exps0
+    && tot_mults = G.op_count () - mults0
+    && tot_bytes = Cost.total_bytes out.Framework.costs.Framework.schedule
+  in
+  {
+    group_name = G.name;
+    wall_s;
+    span_count = List.length spans;
+    phases = Summary.by_phase rows;
+    tot_exps;
+    tot_mults;
+    tot_bytes;
+    consistent;
+  }
+
+let metric row name =
+  Option.value ~default:0 (List.assoc_opt name row.Summary.metrics)
+
+let print_run r =
+  Printf.printf
+    "%s: %.2f s, %d spans, %d exps, %d group mults, %d bytes (attribution %s)\n%!"
+    r.group_name r.wall_s r.span_count r.tot_exps r.tot_mults r.tot_bytes
+    (if r.consistent then "consistent" else "INCONSISTENT")
+
+let emit_run oc r =
+  let out fmt = Printf.fprintf oc fmt in
+  out "    {\n";
+  out "      \"group\": %S,\n" r.group_name;
+  out "      \"wall_s\": %.3f,\n" r.wall_s;
+  out "      \"span_count\": %d,\n" r.span_count;
+  out "      \"totals\": {\"exps\": %d, \"group_mults\": %d, \"bytes\": %d},\n"
+    r.tot_exps r.tot_mults r.tot_bytes;
+  out "      \"attribution_consistent\": %b,\n" r.consistent;
+  out "      \"phases\": [\n";
+  List.iteri
+    (fun i (row : Summary.row) ->
+      out
+        "        {\"phase\": %S, \"exps\": %d, \"group_mults\": %d, \
+         \"bytes_out\": %d, \"bytes_in\": %d, \"wall_s\": %.4f}%s\n"
+        row.Summary.phase (metric row "exps") (metric row "group_mults")
+        (metric row "bytes_out") (metric row "bytes_in")
+        (row.Summary.wall_us /. 1e6)
+        (if i = List.length r.phases - 1 then "" else ","))
+    r.phases;
+  out "      ]\n";
+  out "    }"
+
+let run () =
+  Printf.printf "\n== Observability (%s) ==\n%!" json_path;
+  Printf.printf "traced framework runs: n=%d, k=%d, h=%d, spec m=2,t=1,d1=4,d2=2\n%!"
+    n k h;
+  let runs =
+    List.map
+      (fun g -> let r = traced_run g in print_run r; r)
+      [ Ppgr_group.Dl_group.dl_1024 (); Ppgr_group.Ec_group.ecc_160 () ]
+  in
+  let oc = open_out json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 3,\n";
+  out "  \"description\": \"observability: per-phase breakdown of traced framework runs\",\n";
+  out "  \"n\": %d,\n" n;
+  out "  \"k\": %d,\n" k;
+  out "  \"h\": %d,\n" h;
+  out "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      emit_run oc r;
+      out "%s\n" (if i = List.length runs - 1 then "" else ","))
+    runs;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  if List.exists (fun r -> not r.consistent) runs then
+    failwith "obs bench: span attribution disagrees with the global meters"

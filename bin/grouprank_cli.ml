@@ -56,6 +56,26 @@ let h_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-phase cost counters.")
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON of the run to $(docv) (loadable in \
+     Perfetto / chrome://tracing): one span per protocol step per party, \
+     with operation and byte counts as span arguments."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let jsonl_arg =
+  let doc = "Write the recorded spans as one-JSON-object-per-line to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the per-phase × per-party metrics table (exponentiations, group \
+     multiplications, bytes, wall time) and check its column sums against \
+     the global meters."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel hot loops (0 = all recommended \
@@ -75,7 +95,7 @@ let parse_spec s =
         ~d1:(int_of_string d1) ~d2:(int_of_string d2)
   | _ -> failwith "spec must be m,t,d1,d2"
 
-let run_cmd group_name n k seed spec_s h verbose jobs =
+let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics =
   apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
   let spec = parse_spec spec_s in
@@ -87,8 +107,26 @@ let run_cmd group_name n k seed spec_s h verbose jobs =
   Printf.printf "group: %s (order %d bits), participants: %d, k: %d\n" G.name
     (Ppgr_bigint.Bigint.numbits G.order)
     n k;
+  let observing = trace <> None || jsonl <> None || metrics in
+  if observing then begin
+    (* The probes sampled at every span boundary: full exponentiations
+       (global engine meter) and this group's multiplication counter. *)
+    Ppgr_obs.Metrics.register ~name:"exps" (fun () -> Ppgr_group.Opmeter.count ());
+    Ppgr_obs.Metrics.register ~name:"group_mults" (fun () -> G.op_count ())
+  end;
+  let exps0 = Ppgr_group.Opmeter.count () in
+  let mults0 = G.op_count () in
   let t0 = Unix.gettimeofday () in
-  let out = Framework.run_with_group group rng cfg ~criterion ~infos in
+  let out, spans =
+    if observing then
+      Ppgr_obs.Trace.capture (fun () ->
+          Framework.run_with_group group rng cfg ~criterion ~infos)
+    else (Framework.run_with_group group rng cfg ~criterion ~infos, [])
+  in
+  if observing then begin
+    Ppgr_obs.Metrics.unregister ~name:"exps";
+    Ppgr_obs.Metrics.unregister ~name:"group_mults"
+  end;
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "\n%-4s %-10s %s\n" "who" "rank" "gain (cleartext, for reference only)";
   Array.iteri
@@ -119,9 +157,43 @@ let run_cmd group_name n k seed spec_s h verbose jobs =
       (Cost.total_messages c.Framework.schedule)
       (Cost.total_bytes c.Framework.schedule)
   end;
+  (match trace with
+  | Some path ->
+      Ppgr_obs.Export.write_chrome path spans;
+      Printf.printf "\ntrace: %d spans -> %s (load in https://ui.perfetto.dev)\n"
+        (List.length spans) path
+  | None -> ());
+  (match jsonl with
+  | Some path ->
+      Ppgr_obs.Export.write_jsonl path spans;
+      Printf.printf "jsonl: %d spans -> %s\n" (List.length spans) path
+  | None -> ());
+  if metrics then begin
+    let rows = Ppgr_obs.Summary.rows spans in
+    Printf.printf "\nper-phase x per-party metrics:\n%s"
+      (Ppgr_obs.Summary.to_string rows);
+    (* The party spans tile the run, so their column sums must equal
+       the global meters over the same interval. *)
+    let sum_exps = Ppgr_obs.Summary.total rows "exps" in
+    let sum_mults = Ppgr_obs.Summary.total rows "group_mults" in
+    let sum_bytes = Ppgr_obs.Summary.total rows "bytes_out" in
+    let glob_exps = Ppgr_group.Opmeter.count () - exps0 in
+    let glob_mults = G.op_count () - mults0 in
+    let glob_bytes = Cost.total_bytes out.Framework.costs.Framework.schedule in
+    let check label a b =
+      Printf.printf "  %-12s %12d (table) %12d (global)  %s\n" label a b
+        (if a = b then "ok" else "MISMATCH")
+    in
+    Printf.printf "\nconsistency (table column sums vs global meters):\n";
+    check "exps" sum_exps glob_exps;
+    check "group_mults" sum_mults glob_mults;
+    check "bytes" sum_bytes glob_bytes;
+    if sum_exps <> glob_exps || sum_mults <> glob_mults || sum_bytes <> glob_bytes
+    then failwith "metrics consistency check failed"
+  end;
   Printf.printf "\nwall clock: %.3f s\n" dt
 
-let simulate_cmd group_name n k seed nodes edges jobs =
+let simulate_cmd group_name n k seed nodes edges jobs metrics =
   apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
   let spec = parse_spec "4,2,8,4" in
@@ -141,7 +213,30 @@ let simulate_cmd group_name n k seed nodes edges jobs =
   Printf.printf
     "simulated on %d-node/%d-edge topology: elapsed %.2f s, %d messages, %d bytes, %d rounds\n"
     nodes edges st.Netsim.elapsed_s st.Netsim.message_count st.Netsim.bytes_sent
-    st.Netsim.rounds
+    st.Netsim.rounds;
+  if metrics then begin
+    Printf.printf "\nper-party end-to-end traffic (party n is the initiator):\n";
+    Printf.printf "%6s %12s %12s\n" "party" "bytes_out" "bytes_in";
+    Array.iteri
+      (fun j out ->
+        Printf.printf "%6d %12d %12d\n" j out st.Netsim.party_bytes_in.(j))
+      st.Netsim.party_bytes_out;
+    Printf.printf "\nbusiest directed links (store-and-forward hops included):\n";
+    Printf.printf "%6s %6s %12s %10s\n" "from" "to" "bytes" "messages";
+    let edges_sorted =
+      List.sort
+        (fun (a : Netsim.edge_traffic) b -> compare b.edge_bytes a.edge_bytes)
+        st.Netsim.edges
+    in
+    List.iteri
+      (fun i (e : Netsim.edge_traffic) ->
+        if i < 20 then
+          Printf.printf "%6d %6d %12d %10d\n" e.Netsim.node_from e.Netsim.node_to
+            e.Netsim.edge_bytes e.Netsim.edge_messages)
+      edges_sorted;
+    if List.length edges_sorted > 20 then
+      Printf.printf "  (%d links total)\n" (List.length edges_sorted)
+  end
 
 let inspect_cmd group_name =
   let module G = (val group_of_name group_name) in
@@ -155,7 +250,7 @@ let inspect_cmd group_name =
 let run_term =
   Term.(
     const run_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ spec_arg $ h_arg
-    $ verbose_arg $ jobs_arg)
+    $ verbose_arg $ jobs_arg $ trace_arg $ jsonl_arg $ metrics_arg)
 
 let nodes_arg =
   Arg.(value & opt int 80 & info [ "nodes" ] ~docv:"V" ~doc:"Topology nodes.")
@@ -166,7 +261,7 @@ let edges_arg =
 let simulate_term =
   Term.(
     const simulate_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ nodes_arg
-    $ edges_arg $ jobs_arg)
+    $ edges_arg $ jobs_arg $ metrics_arg)
 
 let inspect_term = Term.(const inspect_cmd $ group_arg)
 

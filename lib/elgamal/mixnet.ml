@@ -19,6 +19,7 @@
       the plaintexts from the final batch. *)
 
 open Ppgr_rng
+module Trace = Ppgr_obs.Trace
 
 module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   module E = Elgamal.Make (G)
@@ -35,37 +36,55 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   let collect rng (messages : G.element array) : result =
     let n = Array.length messages in
     if n < 2 then invalid_arg "Mixnet.collect: need at least 2 members";
+    Trace.with_span
+      ~attrs:[ ("group", Trace.Str G.name); ("n", Trace.Int n) ]
+      "mixnet"
+    @@ fun () ->
     let member_rngs =
-      Array.init n (fun i -> Rng.split rng ~label:(Printf.sprintf "mix-%d" i))
+      Array.init n (fun i -> Rng.split rng ~label:("mix-" ^ string_of_int i))
     in
-    let keys = Array.init n (fun i -> E.keygen member_rngs.(i)) in
+    let member_span step i f =
+      Trace.with_span ~attrs:[ ("party", Trace.Int i) ] ("mixnet." ^ step) f
+    in
+    let keys =
+      Array.init n (fun i -> member_span "keygen" i (fun () -> E.keygen member_rngs.(i)))
+    in
     let joint = E.joint_pubkey (Array.to_list (Array.map snd keys)) in
     (* One fixed-base table for the joint key serves every encryption
        and all n^2 ring re-randomizations. *)
     let joint_tbl = E.keytable joint in
     (* Submission. *)
     let batch =
-      Array.mapi (fun i m -> E.encrypt_with member_rngs.(i) joint_tbl m) messages
+      Array.mapi
+        (fun i m ->
+          member_span "submit" i (fun () -> E.encrypt_with member_rngs.(i) joint_tbl m))
+        messages
     in
+    (* Per-slot re-randomization labels, preformatted once for all n
+       hops (byte-identical to the original per-hop Printf strings). *)
+    let rr_labels = Array.init n (fun c -> "rr-" ^ string_of_int c) in
     (* Shuffle ring: re-randomize and permute.  Each ciphertext slot
        re-randomizes under its own child stream keyed by position, so
        the per-hop work fans out over the domain pool with a transcript
        independent of the job count; the shuffle then draws from the
        member's own stream, which splitting leaves undisturbed. *)
     for i = 0 to n - 1 do
-      let slot_rngs =
-        Array.init n (fun c ->
-            Rng.split member_rngs.(i) ~label:(Printf.sprintf "rr-%d" c))
-      in
-      Ppgr_exec.Pool.parallel_for n (fun c ->
-          batch.(c) <- E.rerandomize_with slot_rngs.(c) joint_tbl batch.(c));
-      Rng.shuffle member_rngs.(i) batch
+      member_span "shuffle" i (fun () ->
+          Trace.add_attr "hop" (Trace.Int i);
+          let slot_rngs =
+            Array.init n (fun c -> Rng.split member_rngs.(i) ~label:rr_labels.(c))
+          in
+          Ppgr_exec.Pool.parallel_for n (fun c ->
+              batch.(c) <- E.rerandomize_with slot_rngs.(c) joint_tbl batch.(c));
+          Rng.shuffle member_rngs.(i) batch)
     done;
     (* Decryption ring: strip each member's layer (deterministic, so the
        slots are embarrassingly parallel). *)
     for i = 0 to n - 1 do
-      Ppgr_exec.Pool.parallel_for n (fun c ->
-          batch.(c) <- E.partial_decrypt (fst keys.(i)) batch.(c))
+      member_span "decrypt" i (fun () ->
+          Trace.add_attr "hop" (Trace.Int i);
+          Ppgr_exec.Pool.parallel_for n (fun c ->
+              batch.(c) <- E.partial_decrypt (fst keys.(i)) batch.(c)))
     done;
     {
       plaintexts = Array.map (fun cph -> cph.E.c) batch;

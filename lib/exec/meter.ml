@@ -9,6 +9,7 @@ type t = int array
 
 let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 let set_slot s = Domain.DLS.set slot_key s
+let slot () = Domain.DLS.get slot_key
 let create () = Array.make ((max_slot + 1) * stride) 0
 
 let add (t : t) k =

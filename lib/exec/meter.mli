@@ -48,3 +48,8 @@ val max_slot : int
 
 val set_slot : int -> unit
 (** Bind the calling domain to a slot; used by {!Pool} workers only. *)
+
+val slot : unit -> int
+(** The calling domain's slot ([0] on the main domain).  Other
+    per-domain lane structures (the tracer's span buffers) key off the
+    same assignment so one slot discipline serves every layer. *)

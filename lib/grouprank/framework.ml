@@ -10,6 +10,8 @@
 
 open Ppgr_bigint
 open Ppgr_mpcnet
+module Trace = Ppgr_obs.Trace
+module Metrics = Ppgr_obs.Metrics
 
 type config = {
   spec : Attrs.spec;
@@ -69,15 +71,55 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     List.partition consistent scored
     |> fun (ok, bad) -> (List.map fst ok, List.map fst bad)
 
+  (* Per-party wire tallies of one schedule round, recorded as instant
+     spans (party indices 0..n-1 are participants, n is the
+     initiator, traced as party -1 so participant tables stay dense). *)
+  let record_wire ~step ~n (messages : Netsim.message list) =
+    if Trace.enabled () then
+      for j = 0 to n do
+        let out = ref 0 and inb = ref 0 in
+        List.iter
+          (fun (m : Netsim.message) ->
+            if m.Netsim.src = j then out := !out + m.Netsim.bytes;
+            if m.Netsim.dst = j then inb := !inb + m.Netsim.bytes)
+          messages;
+        if !out > 0 || !inb > 0 then
+          Trace.instant
+            ~attrs:
+              [
+                ("party", Trace.Int (if j = n then -1 else j));
+                ("bytes_out", Trace.Int !out);
+                ("bytes_in", Trace.Int !inb);
+              ]
+            (step ^ ".wire")
+      done
+
   let run ?(naive_omega = false) rng (cfg : config)
       ~(criterion : Attrs.criterion) ~(infos : Attrs.info array) : outcome =
     let n = Array.length infos in
     if n = 0 then invalid_arg "Framework.run: no participants";
     if cfg.k > n then invalid_arg "Framework.run: k larger than group";
+    Trace.with_span
+      ~attrs:
+        [
+          ("group", Trace.Str G.name);
+          ("n", Trace.Int n);
+          ("k", Trace.Int cfg.k);
+        ]
+      "framework"
+    @@ fun () ->
     (* Phase 1: secure gain computation. *)
     let p1cfg = Phase1.config ~spec:cfg.spec ~h:cfg.h ~s_dim:cfg.s_dim () in
     let field = p1cfg.Phase1.field in
     Ppgr_dotprod.Zfield.reset_mult_count field;
+    (* Give the tracer a probe over this run's field instance so the
+       phase-1 spans carry field-multiplication deltas; removed again
+       before returning since the closure holds the field alive. *)
+    if Trace.enabled () then
+      Metrics.register ~name:"field_mults" (fun () ->
+          Ppgr_dotprod.Zfield.mult_count field);
+    Fun.protect ~finally:(fun () -> Metrics.unregister ~name:"field_mults")
+    @@ fun () ->
     let _secrets, interactions = Phase1.run rng p1cfg ~criterion ~infos in
     let initiator_field_mults = Ppgr_dotprod.Zfield.mult_count field in
     let l = Phase1.beta_bits p1cfg in
@@ -106,29 +148,37 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         };
       ]
     in
+    List.iter
+      (fun (r : Cost.round) -> record_wire ~step:"phase1" ~n r.Cost.messages)
+      phase1_rounds;
     (* Phase 2: unlinkable comparison on the unsigned masked gains. *)
     let betas = Array.map (fun i -> i.Phase1.beta_unsigned) interactions in
     let p2 = P2.run ~naive_omega rng ~l ~betas in
     let ranks = p2.P2.ranks in
     (* Phase 3: top-k submission and over-claim vetting. *)
-    let submissions =
-      List.filter_map
-        (fun j ->
-          if ranks.(j) <= cfg.k then
-            Some { participant = j; claimed_rank = ranks.(j); info = infos.(j) }
-          else None)
-        (List.init n (fun j -> j))
-    in
-    let accepted, flagged = vet_submissions cfg.spec criterion submissions in
-    let info_bytes = cfg.spec.Attrs.m * 8 in
-    let phase3_round =
-      {
-        Cost.critical_ops = 0;
-        messages =
-          List.map
-            (fun s -> { Netsim.src = s.participant; dst = n; bytes = info_bytes + 8 })
-            submissions;
-      }
+    let submissions, accepted, flagged, phase3_round =
+      Trace.with_span ~attrs:[ ("n", Trace.Int n) ] "phase3" @@ fun () ->
+      let submissions =
+        List.filter_map
+          (fun j ->
+            if ranks.(j) <= cfg.k then
+              Some { participant = j; claimed_rank = ranks.(j); info = infos.(j) }
+            else None)
+          (List.init n (fun j -> j))
+      in
+      let accepted, flagged = vet_submissions cfg.spec criterion submissions in
+      let info_bytes = cfg.spec.Attrs.m * 8 in
+      let phase3_round =
+        {
+          Cost.critical_ops = 0;
+          messages =
+            List.map
+              (fun s -> { Netsim.src = s.participant; dst = n; bytes = info_bytes + 8 })
+              submissions;
+        }
+      in
+      record_wire ~step:"phase3" ~n phase3_round.Cost.messages;
+      (submissions, accepted, flagged, phase3_round)
     in
     {
       ranks;

@@ -20,6 +20,7 @@
 open Ppgr_bigint
 open Ppgr_rng
 open Ppgr_dotprod
+module Trace = Ppgr_obs.Trace
 
 type config = {
   spec : Attrs.spec;
@@ -56,6 +57,7 @@ type interaction = {
 
 (** Run the phase for participant [j] holding [info]. *)
 let run_one rng cfg ~criterion ~secrets ~j ~info =
+  Trace.with_span ~attrs:[ ("party", Trace.Int j) ] "phase1.gain" @@ fun () ->
   let f = cfg.field in
   (* [participant_vector] ends with the literal 1 of the paper's w'_j;
      the dot-product protocol appends that 1 itself, so strip it here. *)
@@ -91,6 +93,9 @@ let run_one rng cfg ~criterion ~secrets ~j ~info =
 let run rng cfg ~criterion ~infos =
   Attrs.check_criterion cfg.spec criterion;
   let n = Array.length infos in
+  Trace.with_span ~attrs:[ ("n", Trace.Int n); ("l", Trace.Int (beta_bits cfg)) ]
+    "phase1"
+  @@ fun () ->
   let secrets = draw_masks rng cfg ~n in
   (secrets, Array.mapi (fun j info -> run_one rng cfg ~criterion ~secrets ~j ~info) infos)
 

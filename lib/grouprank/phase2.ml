@@ -36,6 +36,7 @@
 open Ppgr_bigint
 open Ppgr_rng
 open Ppgr_mpcnet
+module Trace = Ppgr_obs.Trace
 
 module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   module E = Ppgr_elgamal.Elgamal.Make (G)
@@ -61,14 +62,19 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
      computation.  Parties still execute one at a time in this
      simulation; a party's own hot loops may fan out over the domain
      pool, whose per-domain meter lanes all land in the same party's
-     delta. *)
-  let with_party2 ops exps j f =
-    let before = G.op_snapshot () in
-    let before_e = Ppgr_group.Opmeter.snapshot () in
-    let r = f () in
-    ops.(j) <- ops.(j) + G.ops_since before;
-    exps.(j) <- exps.(j) + Ppgr_group.Opmeter.since before_e;
-    r
+     delta.  Each delta is additionally recorded as one tracer span
+     named after the step and attributed to the party — these spans
+     tile the phase's computation, so the summary table's column sums
+     equal the global meters. *)
+  let with_party2 ?(step = "step") ops exps j f =
+    Trace.with_span ~attrs:[ ("party", Trace.Int j) ] ("phase2." ^ step)
+      (fun () ->
+        let before = G.op_snapshot () in
+        let before_e = Ppgr_group.Opmeter.snapshot () in
+        let r = f () in
+        ops.(j) <- ops.(j) + G.ops_since before;
+        exps.(j) <- exps.(j) + Ppgr_group.Opmeter.since before_e;
+        r)
 
   (* The homomorphic identity E(0) with zero randomness; a valid
      starting point for homomorphic sums. *)
@@ -111,14 +117,21 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         let omega = E.add (E.scale_int one_minus (l - b)) suffixes.(b) in
         if own_bits.(b) = 0 then omega else E.add_clear omega Bigint.one)
 
+  (* Stream labels for the per-task Rng.split calls are preformatted
+     once per run and shared across parties/hops: the strings are
+     byte-identical to the Printf-formatted originals (asserted by the
+     golden transcript test), so every derived stream — and hence every
+     rank and ciphertext — is unchanged, but the hot loops no longer
+     pay a Printf per task. *)
+  let index_labels prefix n = Array.init n (fun i -> prefix ^ string_of_int i)
+
   (** Step-6 unit: the bitwise encryption of one party's masked gain.
       Bit [b] encrypts under its own child stream of [rng] keyed by
       position, so the bits fan out over the domain pool with a
       transcript independent of the job count. *)
-  let encrypt_bits rng tbl (bits : int array) =
+  let encrypt_bits rng ~labels tbl (bits : int array) =
     let bit_rngs =
-      Array.init (Array.length bits) (fun b ->
-          Rng.split rng ~label:(Printf.sprintf "enc-bit-%d" b))
+      Array.init (Array.length bits) (fun b -> Rng.split rng ~label:labels.(b))
     in
     Ppgr_exec.Pool.parallel_init (Array.length bits) (fun b ->
         E.encrypt_exp_int_with bit_rngs.(b) tbl bits.(b))
@@ -138,14 +151,36 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       its own child stream of [rng] keyed by position; the final
       shuffle draws from [rng] itself, which the splits leave
       undisturbed. *)
-  let blind_set rng secret (set : E.cipher array) =
+  let blind_set rng ~labels secret (set : E.cipher array) =
     let slot_rngs =
-      Array.init (Array.length set) (fun c ->
-          Rng.split rng ~label:(Printf.sprintf "blind-%d" c))
+      Array.init (Array.length set) (fun c -> Rng.split rng ~label:labels.(c))
     in
     Ppgr_exec.Pool.parallel_for (Array.length set) (fun c ->
         set.(c) <- E.partial_decrypt_blind slot_rngs.(c) secret set.(c));
     Rng.shuffle rng set
+
+  (* Per-party in/out byte tallies of one round's messages, recorded as
+     instant wire spans so the trace carries the paper's per-step
+     communication breakdown next to the computation spans. *)
+  let record_wire ~step ~n (messages : Netsim.message list) =
+    if Trace.enabled () then
+      for j = 0 to n - 1 do
+        let out = ref 0 and inb = ref 0 in
+        List.iter
+          (fun (m : Netsim.message) ->
+            if m.Netsim.src = j then out := !out + m.Netsim.bytes;
+            if m.Netsim.dst = j then inb := !inb + m.Netsim.bytes)
+          messages;
+        if !out > 0 || !inb > 0 then
+          Trace.instant
+            ~attrs:
+              [
+                ("party", Trace.Int j);
+                ("bytes_out", Trace.Int !out);
+                ("bytes_in", Trace.Int !inb);
+              ]
+            ("phase2." ^ step ^ ".wire")
+      done
 
   let run ?(naive_omega = false) rng ~l ~(betas : Bigint.t array) : result =
     let n = Array.length betas in
@@ -155,12 +190,18 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         if Bigint.sign b < 0 || Bigint.numbits b > l then
           invalid_arg "Phase2.run: beta out of l-bit range")
       betas;
+    Trace.with_span
+      ~attrs:
+        [ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
+      "phase2"
+    @@ fun () ->
     let ops = Array.make n 0 in
     let exps = Array.make n 0 in
-    let with_party ops j f = with_party2 ops exps j f in
+    let with_party ~step ops j f = with_party2 ~step ops exps j f in
     let schedule = ref [] in
-    let round ~critical_ops messages =
-      schedule := { Cost.critical_ops; messages } :: !schedule
+    let round ~step ~critical_ops messages =
+      schedule := { Cost.critical_ops; messages } :: !schedule;
+      record_wire ~step ~n messages
     in
     (* Critical-path ops of a step: the largest per-party op delta since
        the snapshot taken before the step. *)
@@ -170,7 +211,12 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       Array.iteri (fun j v -> if v - s.(j) > !m then m := v - s.(j)) ops;
       !m
     in
-    let party_rngs = Array.init n (fun j -> Rng.split rng ~label:(Printf.sprintf "party-%d" j)) in
+    let party_labels = index_labels "party-" n in
+    let party_rngs = Array.init n (fun j -> Rng.split rng ~label:party_labels.(j)) in
+    (* All hot-loop split labels, preformatted once for the whole run. *)
+    let enc_labels = index_labels "enc-bit-" l in
+    let blind_labels = index_labels "blind-" ((n - 1) * l) in
+    let hop_owner_labels = index_labels "hop-owner-" n in
     if n = 1 then
       {
         ranks = [| 1 |];
@@ -184,30 +230,33 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       (* Step 5: key generation and knowledge proofs. *)
       let s0 = snap () in
       let keys =
-        Array.init n (fun j -> with_party ops j (fun () -> E.keygen party_rngs.(j)))
+        Array.init n (fun j ->
+            with_party ~step:"keys" ops j (fun () -> E.keygen party_rngs.(j)))
       in
       let pubs = Array.map snd keys in
-      round ~critical_ops:(crit_since s0)
+      round ~step:"keys" ~critical_ops:(crit_since s0)
         (Netsim.all_broadcast ~parties:n ~bytes:G.element_bytes);
       let s1 = snap () in
       let transcripts =
         Array.init n (fun j ->
-            with_party ops j (fun () ->
+            with_party ~step:"zkp.prove" ops j (fun () ->
                 Z.prove_interactive party_rngs.(j) ~secret:(fst keys.(j))
                   ~statement:pubs.(j) ~n_verifiers:(n - 1)))
       in
       (* Commitment, challenges, response: three broadcast rounds. *)
-      round ~critical_ops:(crit_since s1)
+      round ~step:"zkp.commit" ~critical_ops:(crit_since s1)
         (Netsim.all_broadcast ~parties:n ~bytes:G.element_bytes);
-      round ~critical_ops:0 (Netsim.all_broadcast ~parties:n ~bytes:scalar_bytes);
-      round ~critical_ops:0 (Netsim.all_broadcast ~parties:n ~bytes:scalar_bytes);
+      round ~step:"zkp.challenge" ~critical_ops:0
+        (Netsim.all_broadcast ~parties:n ~bytes:scalar_bytes);
+      round ~step:"zkp.response" ~critical_ops:0
+        (Netsim.all_broadcast ~parties:n ~bytes:scalar_bytes);
       let s2 = snap () in
       let zkp_ok =
         Array.init n (fun verifier ->
             Array.init n (fun prover ->
                 if verifier = prover then true
                 else
-                  with_party ops verifier (fun () ->
+                  with_party ~step:"zkp.verify" ops verifier (fun () ->
                       Z.verify_transcript ~statement:pubs.(prover) transcripts.(prover))))
       in
       (* Every party forms the joint key itself (n-1 multiplications,
@@ -215,17 +264,18 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
          it; the table serves all l step-6 encryptions. *)
       let joint_tbls =
         Array.init n (fun j ->
-            with_party ops j (fun () ->
+            with_party ~step:"joint_key" ops j (fun () ->
                 E.keytable (E.joint_pubkey (Array.to_list pubs))))
       in
       (* Step 6: bitwise encryption of own beta under the joint key. *)
       let bits = Array.map (fun b -> Bigint.bits_of b ~width:l) betas in
       let enc_bits =
         Array.init n (fun j ->
-            with_party ops j (fun () ->
-                encrypt_bits party_rngs.(j) joint_tbls.(j) bits.(j)))
+            with_party ~step:"encrypt" ops j (fun () ->
+                encrypt_bits party_rngs.(j) ~labels:enc_labels joint_tbls.(j)
+                  bits.(j)))
       in
-      round ~critical_ops:(crit_since s2)
+      round ~step:"encrypt" ~critical_ops:(crit_since s2)
         (Netsim.all_broadcast ~parties:n ~bytes:(l * E.cipher_bytes));
       (* Step 7: every P_j compares against every other P_i and ships
          the resulting ciphertext sets to P_1 (index 0). *)
@@ -234,11 +284,11 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         (* sets.(j).(i) = ciphertexts of comparison "j vs i" (i <> j),
            owned by j.  The inner option keeps indexing regular. *)
         Array.init n (fun j ->
-            with_party ops j (fun () ->
+            with_party ~step:"compare" ops j (fun () ->
                 compare_all ~naive_omega ~l ~own_bits:bits.(j) ~self:j enc_bits))
       in
       let per_set_ciphers = (n - 1) * l in
-      round ~critical_ops:(crit_since s3)
+      round ~step:"compare" ~critical_ops:(crit_since s3)
         (List.concat_map
            (fun j ->
              if j = 0 then []
@@ -256,20 +306,21 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       for hop = 0 to n - 1 do
         (* Party [hop] processes every set but its own. *)
         let s_hop = snap () in
-        with_party ops hop (fun () ->
-            for owner = 0 to n - 1 do
-              if owner <> hop then
-                blind_set
-                  (Rng.split party_rngs.(hop)
-                     ~label:(Printf.sprintf "hop-owner-%d" owner))
-                  (fst keys.(hop)) v.(owner)
-            done);
+        Trace.with_span ~attrs:[ ("hop", Trace.Int hop) ] "phase2.ring.hop"
+          (fun () ->
+            with_party ~step:"ring" ops hop (fun () ->
+                for owner = 0 to n - 1 do
+                  if owner <> hop then
+                    blind_set
+                      (Rng.split party_rngs.(hop) ~label:hop_owner_labels.(owner))
+                      ~labels:blind_labels (fst keys.(hop)) v.(owner)
+                done));
         if hop < n - 1 then
-          round ~critical_ops:(crit_since s_hop)
+          round ~step:"ring" ~critical_ops:(crit_since s_hop)
             (Netsim.unicast ~src:hop ~dst:(hop + 1) ~bytes:all_sets_bytes)
         else
           (* P_n returns each set to its owner. *)
-          round ~critical_ops:(crit_since s_hop)
+          round ~step:"ring" ~critical_ops:(crit_since s_hop)
             (List.concat_map
                (fun owner ->
                  if owner = n - 1 then []
@@ -282,7 +333,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       let s4 = snap () in
       let zero_flags =
         Array.init n (fun j ->
-            with_party ops j (fun () ->
+            with_party ~step:"count" ops j (fun () ->
                 let sk = fst keys.(j) in
                 Ppgr_exec.Pool.parallel_map
                   (fun cph -> E.decrypt_exp_is_zero sk cph)
@@ -293,7 +344,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
           (fun flags -> 1 + Array.fold_left (fun acc z -> if z then acc + 1 else acc) 0 flags)
           zero_flags
       in
-      round ~critical_ops:(crit_since s4) [];
+      round ~step:"count" ~critical_ops:(crit_since s4) [];
       {
         ranks;
         per_party_ops = ops;

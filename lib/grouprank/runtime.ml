@@ -18,17 +18,36 @@
 
 open Ppgr_bigint
 open Ppgr_rng
+module Trace = Ppgr_obs.Trace
 
 module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   module E = Ppgr_elgamal.Elgamal.Make (G)
   module Z = Ppgr_zkp.Schnorr.Make (G)
   module W = Wire.Make (G)
 
+  (* Rng.split labels of the parallel hot loops, preformatted once per
+     run and shared by every party (byte-identical to the original
+     Printf-formatted strings, so all derived streams are unchanged). *)
+  type labels = {
+    lab_enc : string array; (* "enc-bit-<b>", length l *)
+    lab_blind : string array; (* "blind-<c>", length (n-1)*l *)
+    lab_owner : string array; (* "hop-owner-<j>", length n *)
+  }
+
+  let make_labels ~n ~l =
+    let idx prefix k = Array.init k (fun i -> prefix ^ string_of_int i) in
+    {
+      lab_enc = idx "enc-bit-" l;
+      lab_blind = idx "blind-" ((n - 1) * l);
+      lab_owner = idx "hop-owner-" n;
+    }
+
   type party = {
     index : int;
     n : int;
     l : int;
     rng : Rng.t;
+    labels : labels; (* shared, immutable *)
     beta_bits : int array;
     seckey : E.seckey;
     pub_msg : Bytes.t; (* announced public key *)
@@ -40,8 +59,13 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
 
   let zkp_context = "ppgr-runtime-key-knowledge"
 
-  (** Create a party: generates its key pair and announcement messages. *)
-  let create_party ~index ~n ~l ~beta rng =
+  (** Create a party: generates its key pair and announcement messages.
+      [labels] shares one preformatted label set across parties; when
+      omitted a private set is built (convenient for tests). *)
+  let create_party ~index ~n ~l ?labels ~beta rng =
+    let labels =
+      match labels with Some ls -> ls | None -> make_labels ~n ~l
+    in
     if Bigint.sign beta < 0 || Bigint.numbits beta > l then
       invalid_arg "Runtime.create_party: beta out of range";
     let seckey, pub = E.keygen rng in
@@ -51,6 +75,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       n;
       l;
       rng;
+      labels;
       beta_bits = Bigint.bits_of beta ~width:l;
       seckey;
       pub_msg = W.encode_pubkey pub;
@@ -97,7 +122,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
        so the bits fan out over the domain pool with a transcript
        independent of the job count. *)
     let bit_rngs =
-      Array.init p.l (fun b -> Rng.split p.rng ~label:(Printf.sprintf "enc-bit-%d" b))
+      Array.init p.l (fun b -> Rng.split p.rng ~label:p.labels.lab_enc.(b))
     in
     let enc =
       Ppgr_exec.Pool.parallel_init p.l (fun b ->
@@ -151,12 +176,10 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
              blinding exponents fan out over the pool and the closing
              shuffle draws from the owner stream the splits left
              undisturbed. *)
-          let orng =
-            Rng.split p.rng ~label:(Printf.sprintf "hop-owner-%d" owner)
-          in
+          let orng = Rng.split p.rng ~label:p.labels.lab_owner.(owner) in
           let slot_rngs =
             Array.init (Array.length set) (fun c ->
-                Rng.split orng ~label:(Printf.sprintf "blind-%d" c))
+                Rng.split orng ~label:p.labels.lab_blind.(c))
           in
           let processed =
             Ppgr_exec.Pool.parallel_init (Array.length set) (fun c ->
@@ -181,6 +204,8 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     ranks : int array;
     bytes_on_wire : int; (* every serialized message, summed *)
     messages : int;
+    party_sent : int array; (* bytes out, per party *)
+    party_received : int array; (* bytes in, per party *)
   }
 
   (** Drive a full distributed execution with immediate in-order
@@ -188,47 +213,126 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   let run rng ~l ~(betas : Bigint.t array) : stats =
     let n = Array.length betas in
     if n < 2 then invalid_arg "Runtime.run: need at least 2 parties";
+    Trace.with_span
+      ~attrs:
+        [ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
+      "runtime"
+    @@ fun () ->
     let bytes_total = ref 0 in
     let msg_total = ref 0 in
-    (* [send] is the only channel between parties. *)
-    let send (b : Bytes.t) =
-      bytes_total := !bytes_total + Bytes.length b;
+    let sent = Array.make n 0 in
+    let received = Array.make n 0 in
+    (* [send] is the only channel between parties; it tallies every
+       serialized message globally and per endpoint. *)
+    let send ~src ~dst (b : Bytes.t) =
+      let len = Bytes.length b in
+      bytes_total := !bytes_total + len;
       incr msg_total;
+      sent.(src) <- sent.(src) + len;
+      received.(dst) <- received.(dst) + len;
       Bytes.copy b
     in
+    (* One instant wire span per party per protocol step, carrying the
+       in/out byte deltas of that step. *)
+    let wire_mark step f =
+      if not (Trace.enabled ()) then f ()
+      else begin
+        let s0 = Array.copy sent and r0 = Array.copy received in
+        let r = f () in
+        for j = 0 to n - 1 do
+          let out = sent.(j) - s0.(j) and inb = received.(j) - r0.(j) in
+          if out > 0 || inb > 0 then
+            Trace.instant
+              ~attrs:
+                [
+                  ("party", Trace.Int j);
+                  ("bytes_out", Trace.Int out);
+                  ("bytes_in", Trace.Int inb);
+                ]
+              ("runtime." ^ step ^ ".wire")
+        done;
+        r
+      end
+    in
+    let party_span step j f =
+      Trace.with_span ~attrs:[ ("party", Trace.Int j) ] ("runtime." ^ step) f
+    in
+    let labels = make_labels ~n ~l in
     let parties =
       Array.init n (fun index ->
-          create_party ~index ~n ~l ~beta:betas.(index)
-            (Rng.split rng ~label:(Printf.sprintf "runtime-%d" index)))
+          party_span "keygen" index (fun () ->
+              create_party ~index ~n ~l ?labels:(Some labels) ~beta:betas.(index)
+                (Rng.split rng ~label:(Printf.sprintf "runtime-%d" index))))
     in
     (* Announcements broadcast: count each as n-1 sends. *)
     let pub_msgs = Array.map (fun p -> p.pub_msg) parties in
     let proof_msgs = Array.map (fun p -> p.proof_msg) parties in
-    Array.iter
-      (fun (m : Bytes.t) ->
-        for _ = 1 to n - 1 do
-          ignore (send m)
-        done)
-      (Array.append pub_msgs proof_msgs);
+    wire_mark "announce" (fun () ->
+        Array.iteri
+          (fun src (m : Bytes.t) ->
+            for dst = 0 to n - 1 do
+              if dst <> src then ignore (send ~src ~dst m)
+            done)
+          pub_msgs;
+        Array.iteri
+          (fun src (m : Bytes.t) ->
+            for dst = 0 to n - 1 do
+              if dst <> src then ignore (send ~src ~dst m)
+            done)
+          proof_msgs);
     (* Bit encryptions broadcast. *)
     let enc_msgs =
-      Array.map (fun p -> receive_keys_and_encrypt p ~pub_msgs ~proof_msgs) parties
+      Array.mapi
+        (fun j p ->
+          party_span "encrypt" j (fun () ->
+              receive_keys_and_encrypt p ~pub_msgs ~proof_msgs))
+        parties
     in
-    Array.iter
-      (fun (m : Bytes.t) ->
-        for _ = 1 to n - 1 do
-          ignore (send m)
-        done)
-      enc_msgs;
+    wire_mark "encrypt" (fun () ->
+        Array.iteri
+          (fun src (m : Bytes.t) ->
+            for dst = 0 to n - 1 do
+              if dst <> src then ignore (send ~src ~dst m)
+            done)
+          enc_msgs);
     (* Comparison sets to P_1 (party 0). *)
-    let v = Array.map (fun p -> send (compare_all p ~enc_msgs)) parties in
-    (* Ring pass: each hop receives the vector, processes, forwards. *)
+    let v =
+      wire_mark "compare" (fun () ->
+          Array.mapi
+            (fun j p ->
+              send ~src:j ~dst:0
+                (party_span "compare" j (fun () -> compare_all p ~enc_msgs)))
+            parties)
+    in
+    (* Ring pass: each hop receives the vector, processes, forwards
+       (the final hop returns each set to its owner). *)
     let v = ref v in
     for hop = 0 to n - 1 do
-      let processed = ring_hop parties.(hop) ~v_msgs:!v in
-      v := Array.map send processed
+      let processed =
+        Trace.with_span
+          ~attrs:[ ("party", Trace.Int hop); ("hop", Trace.Int hop) ]
+          "runtime.ring"
+          (fun () -> ring_hop parties.(hop) ~v_msgs:!v)
+      in
+      v :=
+        wire_mark "ring" (fun () ->
+            Array.mapi
+              (fun owner m ->
+                let dst = if hop = n - 1 then owner else hop + 1 in
+                send ~src:hop ~dst m)
+              processed)
     done;
     (* Return each set to its owner; owners decode and count. *)
-    let ranks = Array.mapi (fun j p -> finish p ~own_set:!v.(j)) parties in
-    { ranks; bytes_on_wire = !bytes_total; messages = !msg_total }
+    let ranks =
+      Array.mapi
+        (fun j p -> party_span "count" j (fun () -> finish p ~own_set:!v.(j)))
+        parties
+    in
+    {
+      ranks;
+      bytes_on_wire = !bytes_total;
+      messages = !msg_total;
+      party_sent = sent;
+      party_received = received;
+    }
 end

@@ -34,19 +34,34 @@ let place_parties topo ~parties : placement =
     invalid_arg "Netsim.place_parties: more parties than nodes";
   Array.init parties (fun i -> i * Topology.nodes topo / parties)
 
+type edge_traffic = {
+  node_from : int; (* topology node, not party index *)
+  node_to : int;
+  edge_bytes : int;
+  edge_messages : int; (* transfers serialized on this directed link *)
+}
+
 type stats = {
   elapsed_s : float;
   bytes_sent : int;
   message_count : int;
   rounds : int;
+  edges : edge_traffic list; (* directed links with traffic, lex order *)
+  party_bytes_out : int array; (* end-to-end, by sending party *)
+  party_bytes_in : int array; (* end-to-end, by receiving party *)
 }
 
 let run topo ~placement (sched : schedule) : stats =
   let next = Topology.routing topo in
   let n = Topology.nodes topo in
+  let parties = Array.length placement in
   (* free_at.(u).(v): earliest time directed link u->v can start a new
      transmission. *)
   let free_at = Array.make_matrix n n 0. in
+  let edge_bytes = Array.make_matrix n n 0 in
+  let edge_msgs = Array.make_matrix n n 0 in
+  let party_out = Array.make parties 0 in
+  let party_in = Array.make parties 0 in
   let clock = ref 0. in
   let bytes_total = ref 0 in
   let msg_total = ref 0 in
@@ -58,6 +73,8 @@ let run topo ~placement (sched : schedule) : stats =
         (fun m ->
           incr msg_total;
           bytes_total := !bytes_total + m.bytes;
+          party_out.(m.src) <- party_out.(m.src) + m.bytes;
+          party_in.(m.dst) <- party_in.(m.dst) + m.bytes;
           let src = placement.(m.src) and dst = placement.(m.dst) in
           if src <> dst then begin
             let hops = Topology.path ~next ~src ~dst in
@@ -69,6 +86,8 @@ let run topo ~placement (sched : schedule) : stats =
                 let begin_tx = Float.max !t free_at.(!u).(v) in
                 let ser = float_of_int (8 * m.bytes) /. link.Topology.bandwidth_bps in
                 free_at.(!u).(v) <- begin_tx +. ser;
+                edge_bytes.(!u).(v) <- edge_bytes.(!u).(v) + m.bytes;
+                edge_msgs.(!u).(v) <- edge_msgs.(!u).(v) + 1;
                 t := begin_tx +. ser +. link.Topology.latency_s;
                 u := v)
               hops;
@@ -77,11 +96,28 @@ let run topo ~placement (sched : schedule) : stats =
         round.messages;
       clock := !round_end)
     sched;
+  let edges = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto 0 do
+      if edge_msgs.(u).(v) > 0 then
+        edges :=
+          {
+            node_from = u;
+            node_to = v;
+            edge_bytes = edge_bytes.(u).(v);
+            edge_messages = edge_msgs.(u).(v);
+          }
+          :: !edges
+    done
+  done;
   {
     elapsed_s = !clock;
     bytes_sent = !bytes_total;
     message_count = !msg_total;
     rounds = List.length sched;
+    edges = !edges;
+    party_bytes_out = party_out;
+    party_bytes_in = party_in;
   }
 
 (** Convenience constructors for common communication patterns. *)

@@ -28,11 +28,24 @@ val place_parties : Topology.t -> parties:int -> placement
 (** Spread parties over distinct nodes.
     @raise Invalid_argument if there are more parties than nodes. *)
 
+type edge_traffic = {
+  node_from : int; (* topology node, not party index *)
+  node_to : int;
+  edge_bytes : int;
+  edge_messages : int; (* transfers serialized on this directed link *)
+}
+
 type stats = {
   elapsed_s : float;
   bytes_sent : int;
   message_count : int;
   rounds : int;
+  edges : edge_traffic list;
+      (* directed links that carried traffic, in (node_from, node_to)
+         lexicographic order; store-and-forward hops count on every
+         intermediate link they cross *)
+  party_bytes_out : int array; (* end-to-end bytes, by sending party *)
+  party_bytes_in : int array; (* end-to-end bytes, by receiving party *)
 }
 
 val run : Topology.t -> placement:placement -> schedule -> stats

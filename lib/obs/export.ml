@@ -1,0 +1,100 @@
+(** Trace exporters: Chrome trace-event JSON (loadable in Perfetto or
+    chrome://tracing) and a line-per-span JSONL event log.
+
+    Both formats are rendered with a hand-rolled emitter — the repo has
+    no JSON dependency — and are deliberately minimal: complete events
+    ([ph:"X"]) on one process, one thread id per domain slot, span
+    attributes in [args]. *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_add_attr b = function
+  | Trace.Int i -> Buffer.add_string b (string_of_int i)
+  | Trace.Float f -> Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Trace.Str s -> buf_add_json_string b s
+  | Trace.Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let buf_add_attrs b attrs =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      buf_add_attr b v)
+    attrs;
+  Buffer.add_char b '}'
+
+(** {1 Chrome trace-event format} *)
+
+let chrome_event b (sp : Trace.span) =
+  Buffer.add_string b "{\"name\":";
+  buf_add_json_string b sp.name;
+  Buffer.add_string b ",\"cat\":\"ppgr\",\"ph\":\"X\",\"ts\":";
+  Buffer.add_string b (Printf.sprintf "%.1f" sp.start_us);
+  Buffer.add_string b ",\"dur\":";
+  Buffer.add_string b (Printf.sprintf "%.1f" sp.dur_us);
+  Buffer.add_string b (Printf.sprintf ",\"pid\":0,\"tid\":%d,\"args\":" sp.slot);
+  buf_add_attrs b (("span_id", Trace.Int sp.id) :: ("parent", Trace.Int sp.parent) :: sp.attrs);
+  Buffer.add_char b '}'
+
+let chrome_string (spans : Trace.span list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  (* Name the per-slot tracks so Perfetto shows "main" / "worker k". *)
+  List.iteri
+    (fun i slot ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           slot
+           (if slot = 0 then "main" else Printf.sprintf "worker-%d" slot)))
+    (List.sort_uniq compare (List.map (fun (sp : Trace.span) -> sp.slot) spans));
+  List.iter
+    (fun sp ->
+      Buffer.add_string b ",\n";
+      chrome_event b sp)
+    spans;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_chrome path spans =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (chrome_string spans))
+
+(** {1 JSONL event log} *)
+
+let jsonl_line b (sp : Trace.span) =
+  Buffer.add_string b "{\"name\":";
+  buf_add_json_string b sp.name;
+  Buffer.add_string b
+    (Printf.sprintf ",\"id\":%d,\"parent\":%d,\"slot\":%d,\"ts_us\":%.1f,\"dur_us\":%.1f,\"attrs\":"
+       sp.id sp.parent sp.slot sp.start_us sp.dur_us);
+  buf_add_attrs b sp.attrs;
+  Buffer.add_string b "}\n"
+
+let jsonl_string (spans : Trace.span list) =
+  let b = Buffer.create 4096 in
+  List.iter (jsonl_line b) spans;
+  Buffer.contents b
+
+let write_jsonl path spans =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (jsonl_string spans))

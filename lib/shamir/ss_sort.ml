@@ -8,6 +8,8 @@
     anyone learning [b]. *)
 
 
+module Trace = Ppgr_obs.Trace
+
 type costs = Engine.costs
 
 (** Sort an array of shared [l]-bit values ascending.  Comparators in
@@ -16,14 +18,28 @@ type costs = Engine.costs
 let sort e prm (values : Engine.shared array) : Engine.shared array =
   let a = Array.copy values in
   let net = Sort_network.generate (Array.length a) in
+  Trace.with_span
+    ~attrs:
+      [ ("n", Trace.Int (Array.length a)); ("layers", Trace.Int (List.length net)) ]
+    "sssort.sort"
+  @@ fun () ->
   List.iteri
     (fun li layer ->
+      let layer_arr = Array.of_list layer in
+      Trace.with_span
+        ~attrs:
+          [
+            ("layer", Trace.Int li);
+            ("comparators", Trace.Int (Array.length layer_arr));
+          ]
+        "sssort.layer"
+      @@ fun () ->
+      let before = if Trace.enabled () then Some (Engine.costs e) else None in
       (* Comparisons of one layer touch disjoint wire pairs, so they
          fan out over the domain pool: each comparator runs on a child
          engine forked under a stable (layer, slot) label, and the
          children's ledgers are absorbed back in slot order, keeping
          transcript and costs independent of the job count. *)
-      let layer_arr = Array.of_list layer in
       let subs =
         Array.mapi
           (fun ci _ -> Engine.fork e ~label:(Printf.sprintf "sort-%d-%d" li ci))
@@ -50,7 +66,15 @@ let sort e prm (values : Engine.shared array) : Engine.shared array =
           let hi = Engine.add e a.(j) p in
           a.(i) <- lo;
           a.(j) <- hi)
-        prods)
+        prods;
+      match before with
+      | None -> ()
+      | Some b ->
+          let c = Engine.costs e in
+          Trace.add_attr "ss_mults" (Trace.Int (c.Engine.c_mults - b.Engine.c_mults));
+          Trace.add_attr "ss_rounds" (Trace.Int (c.Engine.c_rounds - b.Engine.c_rounds));
+          Trace.add_attr "ss_elements"
+            (Trace.Int (c.Engine.c_elements - b.Engine.c_elements)))
     net;
   a
 

@@ -1,0 +1,378 @@
+(* Observability layer: span tracer semantics, probe-delta attribution
+   against the global meters, exporter golden shapes, and the golden
+   transcript pins that prove the hoisted Rng.split labels are
+   byte-identical to the old Printf-formatted ones. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+module Trace = Ppgr_obs.Trace
+module Metrics = Ppgr_obs.Metrics
+module Export = Ppgr_obs.Export
+module Summary = Ppgr_obs.Summary
+module Pool = Ppgr_exec.Pool
+
+let hash_string s =
+  Bytes.to_string (Ppgr_hash.Sha256.digest_string s)
+  |> String.to_seq
+  |> Seq.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+  |> List.of_seq |> String.concat ""
+
+(* ---- Tracer core ---- *)
+
+let span_name (sp : Trace.span) = sp.Trace.name
+
+let parent_name spans (sp : Trace.span) =
+  if sp.Trace.parent = -1 then "-"
+  else
+    match
+      List.find_opt (fun (p : Trace.span) -> p.Trace.id = sp.Trace.parent) spans
+    with
+    | Some p -> p.Trace.name
+    | None -> "?"
+
+let tracer_suite =
+  [
+    Alcotest.test_case "nesting and ordering" `Quick (fun () ->
+        let (), spans =
+          Trace.capture (fun () ->
+              Trace.with_span "a" (fun () ->
+                  Trace.with_span "b" (fun () -> Trace.instant "c");
+                  Trace.with_span "d" (fun () -> ())))
+        in
+        Alcotest.(check (list string))
+          "names in open order" [ "a"; "b"; "c"; "d" ] (List.map span_name spans);
+        Alcotest.(check (list string))
+          "parents" [ "-"; "a"; "b"; "a" ]
+          (List.map (parent_name spans) spans));
+    Alcotest.test_case "disabled tracer records nothing" `Quick (fun () ->
+        Trace.reset ();
+        Trace.set_enabled false;
+        let hits = ref 0 in
+        Trace.with_span "quiet" (fun () -> incr hits);
+        Trace.instant "quiet2";
+        Trace.add_attr "x" (Trace.Int 1);
+        Trace.bump_attr "x" 1;
+        Alcotest.(check int) "body ran" 1 !hits;
+        Alcotest.(check int) "no spans" 0 (Trace.span_count ()));
+    Alcotest.test_case "span closes on exception" `Quick (fun () ->
+        let (), spans =
+          Trace.capture (fun () ->
+              try Trace.with_span "boom" (fun () -> failwith "x")
+              with Failure _ -> ())
+        in
+        Alcotest.(check (list string)) "recorded" [ "boom" ] (List.map span_name spans));
+    Alcotest.test_case "attrs and bump_attr accumulate" `Quick (fun () ->
+        let (), spans =
+          Trace.capture (fun () ->
+              Trace.with_span ~attrs:[ ("k", Trace.Int 7) ] "s" (fun () ->
+                  Trace.bump_attr "bytes" 10;
+                  Trace.bump_attr "bytes" 5))
+        in
+        let sp = List.hd spans in
+        Alcotest.(check bool) "k kept" true
+          (List.assoc_opt "k" sp.Trace.attrs = Some (Trace.Int 7));
+        Alcotest.(check bool) "bytes summed" true
+          (List.assoc_opt "bytes" sp.Trace.attrs = Some (Trace.Int 15)));
+    Alcotest.test_case "probe deltas attach to spans" `Quick (fun () ->
+        let counter = ref 0 in
+        Metrics.register ~name:"ticks" (fun () -> !counter);
+        Fun.protect ~finally:(fun () -> Metrics.unregister ~name:"ticks")
+        @@ fun () ->
+        let (), spans =
+          Trace.capture (fun () ->
+              Trace.with_span "work" (fun () -> counter := !counter + 3);
+              Trace.with_span "idle" (fun () -> ()))
+        in
+        let attr name sp = List.assoc_opt name sp.Trace.attrs in
+        let work = List.find (fun sp -> span_name sp = "work") spans in
+        let idle = List.find (fun sp -> span_name sp = "idle") spans in
+        Alcotest.(check bool) "delta on work" true
+          (attr "ticks" work = Some (Trace.Int 3));
+        Alcotest.(check bool) "zero delta omitted" true (attr "ticks" idle = None));
+  ]
+
+(* ---- Same span set at any job count ---- *)
+
+let dim_attrs (sp : Trace.span) =
+  List.filter
+    (fun (k, _) -> List.mem k Summary.dimension_keys)
+    sp.Trace.attrs
+
+(* A span's job-count-independent fingerprint: name, parent name, and
+   dimension attributes (timestamps, slots and metric deltas may
+   differ only in how they split across lanes — the set must not). *)
+let fingerprints spans =
+  List.sort compare
+    (List.map
+       (fun sp -> (span_name sp, parent_name spans sp, List.sort compare (dim_attrs sp)))
+       spans)
+
+let phase2_spans jobs =
+  Pool.set_jobs jobs;
+  let module G = (val Dl_group.dl_test_64 ()) in
+  let module P2 = Phase2.Make (G) in
+  let rng = Rng.create ~seed:"obs-jobs" in
+  let l = 8 in
+  let betas = Array.init 5 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l)) in
+  let r, spans = Trace.capture (fun () -> P2.run rng ~l ~betas) in
+  Pool.set_jobs 1;
+  (r.P2.ranks, fingerprints spans)
+
+let jobs_suite =
+  [
+    Alcotest.test_case "jobs=1 and jobs=4 record the same span set" `Quick
+      (fun () ->
+        let ranks1, f1 = phase2_spans 1 in
+        let ranks4, f4 = phase2_spans 4 in
+        Alcotest.(check (array int)) "same ranks" ranks1 ranks4;
+        Alcotest.(check int) "same span count" (List.length f1) (List.length f4);
+        Alcotest.(check bool) "same fingerprints" true (f1 = f4));
+  ]
+
+(* ---- Attribution: span deltas tile the run exactly ---- *)
+
+let attribution_suite =
+  [
+    Alcotest.test_case "phase2 span deltas sum to the global meters" `Quick
+      (fun () ->
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module P2 = Phase2.Make (G) in
+        Metrics.register ~name:"exps" (fun () -> Opmeter.count ());
+        Metrics.register ~name:"group_mults" (fun () -> G.op_count ());
+        Fun.protect ~finally:(fun () ->
+            Metrics.unregister ~name:"exps";
+            Metrics.unregister ~name:"group_mults")
+        @@ fun () ->
+        let rng = Rng.create ~seed:"obs-attr" in
+        let l = 8 in
+        let betas =
+          Array.init 4 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+        in
+        let exps0 = Opmeter.count () in
+        let mults0 = G.op_count () in
+        let r, spans = Trace.capture (fun () -> P2.run rng ~l ~betas) in
+        let rows = Summary.rows spans in
+        Alcotest.(check int) "exps" (Opmeter.count () - exps0)
+          (Summary.total rows "exps");
+        Alcotest.(check int) "group mults" (G.op_count () - mults0)
+          (Summary.total rows "group_mults");
+        Alcotest.(check int) "bytes"
+          (Cost.total_bytes r.P2.schedule)
+          (Summary.total rows "bytes_out");
+        (* The per-party deltas the table reports are the same ones the
+           result record reports. *)
+        Alcotest.(check int) "per-party exps agree"
+          (Array.fold_left ( + ) 0 r.P2.per_party_exps)
+          (Summary.total rows "exps"));
+    Alcotest.test_case "runtime per-party wire tallies sum to the total" `Quick
+      (fun () ->
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module R = Runtime.Make (G) in
+        let rng = Rng.create ~seed:"obs-runtime" in
+        let l = 6 in
+        let betas = Array.map Bigint.of_int [| 3; 9; 1; 14 |] in
+        let s, spans = Trace.capture (fun () -> R.run rng ~l ~betas) in
+        Alcotest.(check int) "party_sent sums"
+          s.R.bytes_on_wire
+          (Array.fold_left ( + ) 0 s.R.party_sent);
+        Alcotest.(check int) "party_received sums"
+          s.R.bytes_on_wire
+          (Array.fold_left ( + ) 0 s.R.party_received);
+        let rows = Summary.rows spans in
+        Alcotest.(check int) "wire spans sum to bytes_on_wire"
+          s.R.bytes_on_wire
+          (Summary.total rows "bytes_out");
+        Alcotest.(check (array int)) "ranks sane" [| 3; 2; 4; 1 |] s.R.ranks);
+  ]
+
+(* ---- Exporters: golden shapes on a hand-built trace ---- *)
+
+let golden_spans () =
+  let (), spans =
+    Trace.capture (fun () ->
+        Trace.with_span ~attrs:[ ("party", Trace.Int 0); ("g", Trace.Str "x\"y") ]
+          "outer"
+          (fun () -> Trace.instant ~attrs:[ ("ok", Trace.Bool true) ] "inner"))
+  in
+  (* Pin the timestamps so the rendered strings are exact. *)
+  List.iteri
+    (fun i (sp : Trace.span) -> sp.Trace.dur_us <- float_of_int (10 * (i + 1)))
+    spans;
+  match spans with
+  | [ outer; inner ] ->
+      [
+        { outer with Trace.start_us = 100.; dur_us = outer.Trace.dur_us };
+        { inner with Trace.start_us = 105.; dur_us = inner.Trace.dur_us };
+      ]
+  | _ -> Alcotest.fail "expected exactly two spans"
+
+let exporter_suite =
+  [
+    Alcotest.test_case "chrome trace golden" `Quick (fun () ->
+        let spans = golden_spans () in
+        let outer = List.nth spans 0 and inner = List.nth spans 1 in
+        let expect =
+          Printf.sprintf
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"main\"}},\n\
+             {\"name\":\"outer\",\"cat\":\"ppgr\",\"ph\":\"X\",\"ts\":100.0,\"dur\":10.0,\"pid\":0,\"tid\":0,\"args\":{\"span_id\":%d,\"parent\":-1,\"party\":0,\"g\":\"x\\\"y\"}},\n\
+             {\"name\":\"inner\",\"cat\":\"ppgr\",\"ph\":\"X\",\"ts\":105.0,\"dur\":20.0,\"pid\":0,\"tid\":0,\"args\":{\"span_id\":%d,\"parent\":%d,\"ok\":true}}\n\
+             ]}\n"
+            outer.Trace.id inner.Trace.id outer.Trace.id
+        in
+        Alcotest.(check string) "chrome" expect (Export.chrome_string spans));
+    Alcotest.test_case "jsonl golden" `Quick (fun () ->
+        let spans = golden_spans () in
+        let outer = List.nth spans 0 and inner = List.nth spans 1 in
+        let expect =
+          Printf.sprintf
+            "{\"name\":\"outer\",\"id\":%d,\"parent\":-1,\"slot\":0,\"ts_us\":100.0,\"dur_us\":10.0,\"attrs\":{\"party\":0,\"g\":\"x\\\"y\"}}\n\
+             {\"name\":\"inner\",\"id\":%d,\"parent\":%d,\"slot\":0,\"ts_us\":105.0,\"dur_us\":20.0,\"attrs\":{\"ok\":true}}\n"
+            outer.Trace.id inner.Trace.id outer.Trace.id
+        in
+        Alcotest.(check string) "jsonl" expect (Export.jsonl_string spans));
+    Alcotest.test_case "summary table sums and renders" `Quick (fun () ->
+        let (), spans =
+          Trace.capture (fun () ->
+              Trace.instant
+                ~attrs:[ ("party", Trace.Int 0); ("bytes_out", Trace.Int 10) ]
+                "w";
+              Trace.instant
+                ~attrs:[ ("party", Trace.Int 0); ("bytes_out", Trace.Int 7) ]
+                "w";
+              Trace.instant
+                ~attrs:[ ("party", Trace.Int 1); ("bytes_out", Trace.Int 5) ]
+                "w")
+        in
+        let rows = Summary.rows spans in
+        Alcotest.(check int) "two rows" 2 (List.length rows);
+        Alcotest.(check int) "sum" 22 (Summary.total rows "bytes_out");
+        let collapsed = Summary.by_phase rows in
+        Alcotest.(check int) "one phase" 1 (List.length collapsed);
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "table mentions TOTAL" true
+          (contains (Summary.to_string rows) "TOTAL"));
+  ]
+
+(* ---- Netsim per-edge tallies (hand-computed on a 3-node line) ---- *)
+
+let netsim_suite =
+  [
+    Alcotest.test_case "per-edge and per-party tallies" `Quick (fun () ->
+        let open Ppgr_mpcnet in
+        let link = { Topology.bandwidth_bps = 8_000_000.; latency_s = 0.010 } in
+        let topo = Topology.of_edges ~nodes:3 ~link [ (0, 1); (1, 2) ] in
+        let placement = [| 0; 1; 2 |] in
+        (* 0->2 crosses both links; 1->0 one link; 2->2 no link. *)
+        let sched =
+          [
+            {
+              Netsim.compute_s = 0.;
+              messages =
+                [
+                  { Netsim.src = 0; dst = 2; bytes = 1000 };
+                  { Netsim.src = 1; dst = 0; bytes = 300 };
+                  { Netsim.src = 2; dst = 2; bytes = 77 };
+                ];
+            };
+          ]
+        in
+        let st = Netsim.run topo ~placement sched in
+        Alcotest.(check int) "bytes_sent" 1377 st.Netsim.bytes_sent;
+        Alcotest.(check (array int)) "party out" [| 1000; 300; 77 |]
+          st.Netsim.party_bytes_out;
+        Alcotest.(check (array int)) "party in" [| 300; 0; 1077 |]
+          st.Netsim.party_bytes_in;
+        let edge u v =
+          List.find_opt
+            (fun (e : Netsim.edge_traffic) ->
+              e.Netsim.node_from = u && e.Netsim.node_to = v)
+            st.Netsim.edges
+        in
+        let check_edge u v bytes msgs =
+          match edge u v with
+          | Some e ->
+              Alcotest.(check int) "edge bytes" bytes e.Netsim.edge_bytes;
+              Alcotest.(check int) "edge msgs" msgs e.Netsim.edge_messages
+          | None -> Alcotest.failf "edge %d->%d missing" u v
+        in
+        (* The 0->2 message is store-and-forward over 0->1 then 1->2. *)
+        check_edge 0 1 1000 1;
+        check_edge 1 2 1000 1;
+        check_edge 1 0 300 1;
+        Alcotest.(check int) "exactly the traffic-bearing links" 3
+          (List.length st.Netsim.edges));
+  ]
+
+(* ---- Golden transcript pins: hoisted labels are byte-identical ---- *)
+
+(* These fingerprints were captured on the pre-hoisting code (labels
+   built with Printf.sprintf inside the hot loops).  They pin every
+   derived RNG stream: a changed label would shuffle the blinding
+   exponents and permutations and change these values. *)
+
+let golden_suite =
+  [
+    Alcotest.test_case "phase2 transcript unchanged by label hoisting" `Quick
+      (fun () ->
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module P2 = Phase2.Make (G) in
+        let rng = Rng.create ~seed:"parallel-phase2" in
+        let l = 12 in
+        let betas =
+          Array.init 6 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+        in
+        let r = P2.run rng ~l ~betas in
+        Alcotest.(check (array int)) "ranks" [| 4; 6; 2; 3; 1; 5 |] r.P2.ranks;
+        let buf = Buffer.create 256 in
+        Array.iter (fun rk -> Buffer.add_string buf (string_of_int rk ^ ";")) r.P2.ranks;
+        Array.iter
+          (fun flags ->
+            Array.iter (fun z -> Buffer.add_char buf (if z then '1' else '0')) flags)
+          r.P2.zero_flags;
+        Alcotest.(check string) "transcript sha256"
+          "af282f660bac014bbee7fe5f01615b33ab47e2a7211020e2e7b7645aacca02db"
+          (hash_string (Buffer.contents buf)));
+    Alcotest.test_case "runtime transcript unchanged by label hoisting" `Quick
+      (fun () ->
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module R = Runtime.Make (G) in
+        let rng = Rng.create ~seed:"parallel-runtime" in
+        let l = 10 in
+        let betas =
+          Array.init 5 (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+        in
+        let s = R.run rng ~l ~betas in
+        Alcotest.(check (array int)) "ranks" [| 1; 4; 4; 2; 3 |] s.R.ranks;
+        Alcotest.(check int) "bytes on wire" 23286 s.R.bytes_on_wire;
+        Alcotest.(check int) "messages" 90 s.R.messages);
+    Alcotest.test_case "mixnet batch unchanged by label hoisting" `Quick
+      (fun () ->
+        let module G = (val Dl_group.dl_test_64 ()) in
+        let module M = Ppgr_elgamal.Mixnet.Make (G) in
+        let rng = Rng.create ~seed:"parallel-mixnet" in
+        let messages = Array.init 6 (fun _ -> G.pow_gen (G.random_scalar rng)) in
+        let mr = M.collect rng messages in
+        let buf = Buffer.create 256 in
+        Array.iter (fun p -> Buffer.add_bytes buf (G.to_bytes p)) mr.M.plaintexts;
+        Alcotest.(check string) "batch sha256"
+          "4345bd75820eee4581d2be9450d639380f6ad1e42810e13f30552b358bd386a4"
+          (hash_string (Buffer.contents buf)));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("tracer", tracer_suite);
+      ("jobs", jobs_suite);
+      ("attribution", attribution_suite);
+      ("exporters", exporter_suite);
+      ("netsim-edges", netsim_suite);
+      ("golden-labels", golden_suite);
+    ]
