@@ -6,8 +6,8 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig3a   # a subset
    Sections: calibrate fig2 fig3a fig3b analysis ablations micro trajectory
-   scaling obs scaling-smoke (the last is the cheap CI determinism check
-   and is not part of the default set) *)
+   scaling obs ring, plus scaling-smoke and ring-smoke (the cheap CI
+   determinism checks, not part of the default set) *)
 
 let sections_requested =
   match Array.to_list Sys.argv with
@@ -15,7 +15,7 @@ let sections_requested =
   | _ ->
       [
         "calibrate"; "fig2"; "fig3a"; "fig3b"; "analysis"; "ablations"; "micro";
-        "trajectory"; "scaling"; "obs";
+        "trajectory"; "scaling"; "obs"; "ring";
       ]
 
 let want s = List.mem s sections_requested
@@ -52,5 +52,7 @@ let () =
   if want "trajectory" then Trajectory.run ();
   if want "scaling" then Scaling.run ();
   if want "obs" then Obs.run ();
+  if want "ring" then Ring.run ();
   if want "scaling-smoke" then Scaling.smoke ();
+  if want "ring-smoke" then Ring.smoke ();
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,340 @@
+(* Ring hot-path bench: writes BENCH_PR4.json, the trajectory record
+   for the ring-pass overhaul — owner-level parallelism, framed hop
+   batching, work stealing, and EC batch normalization.  One traced
+   framework run per (group, jobs) point on the exact BENCH_PR3 sizes
+   (n=5, k=2, h=6, same spec), so the phase2.ring rows line up against
+   the PR3 baseline file row for row.
+
+   What the JSON asserts, beyond wall times:
+   - ranks AND the full message schedule (every round's critical ops
+     and src/dst/bytes triple) are byte-identical across job counts —
+     the determinism contract, checked via a digest;
+   - span attribution still tiles exactly (column sums = global
+     meters = Cost.total_bytes), per point;
+   - the ring's wire tally: messages per intermediate hop collapsed
+     n -> 1, with bytes within the documented framing overhead
+     (3 + 4n per frame) of the PR3 per-set accounting.
+
+   Honest-numbers note (PR2 precedent): on a single-core container the
+   jobs>=2 points do the same sequential work plus scheduling overhead;
+   cores_detected is recorded so a reader can interpret the ratios. *)
+
+open Ppgr_grouprank
+module Trace = Ppgr_obs.Trace
+module Metrics = Ppgr_obs.Metrics
+module Summary = Ppgr_obs.Summary
+module Pool = Ppgr_exec.Pool
+
+let json_path = "BENCH_PR4.json"
+
+(* Identical to the obs section so phase rows compare against
+   BENCH_PR3.json directly. *)
+let n = 5
+let k = 2
+let h = 6
+let spec = Attrs.spec ~m:2 ~t:1 ~d1:4 ~d2:2
+
+type point = {
+  jobs : int;
+  wall_s : float;
+  ring_s : float; (* phase2.ring compute wall, parties summed *)
+  ring_bytes : int; (* phase2.ring.wire bytes_out *)
+  ring_msgs : int; (* messages in ring-step schedule rounds *)
+  ranks : int array;
+  transcript : string; (* digest of ranks + full message schedule *)
+  tot_exps : int;
+  tot_mults : int;
+  tot_bytes : int;
+  consistent : bool;
+}
+
+(* The determinism digest: ranks plus every schedule round's critical
+   op count and exact message list.  Two runs with equal digests made
+   byte-identical scheduling decisions end to end. *)
+let transcript_digest (ranks : int array) (sched : Cost.schedule) =
+  let b = Buffer.create 4096 in
+  Array.iter (fun r -> Buffer.add_string b (Printf.sprintf "r%d;" r)) ranks;
+  List.iter
+    (fun (rd : Cost.round) ->
+      Buffer.add_string b (Printf.sprintf "|%d:" rd.Cost.critical_ops);
+      List.iter
+        (fun (m : Ppgr_mpcnet.Netsim.message) ->
+          Buffer.add_string b
+            (Printf.sprintf "%d>%d#%d," m.Ppgr_mpcnet.Netsim.src
+               m.Ppgr_mpcnet.Netsim.dst m.Ppgr_mpcnet.Netsim.bytes))
+        rd.Cost.messages)
+    sched;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let phase_row rows name =
+  List.find_opt (fun (r : Summary.row) -> r.Summary.phase = name) rows
+
+let phase_wall_s rows name =
+  match phase_row rows name with
+  | Some r -> r.Summary.wall_us /. 1e6
+  | None -> 0.
+
+let phase_metric rows name metric =
+  match phase_row rows name with
+  | Some r -> Option.value ~default:0 (List.assoc_opt metric r.Summary.metrics)
+  | None -> 0
+
+(* One traced run at a fixed job count.  Fresh module per point: cold
+   meters, cold generator table, identical work from an identical
+   start (the scaling-section discipline). *)
+let run_point (gfam : unit -> Ppgr_group.Group_intf.group) jobs : point =
+  Pool.set_jobs jobs;
+  let module G = (val gfam ()) in
+  let rng = Ppgr_rng.Rng.create ~seed:"ppgr-bench-ring" in
+  let criterion = Attrs.random_criterion rng spec in
+  let infos = Array.init n (fun _ -> Attrs.random_info rng spec) in
+  let cfg = Framework.config ~h ~spec ~k () in
+  Metrics.register ~name:"exps" (fun () -> Ppgr_group.Opmeter.count ());
+  Metrics.register ~name:"group_mults" (fun () -> G.op_count ());
+  List.iter (fun (name, read) -> Metrics.register ~name read) G.probes;
+  Fun.protect ~finally:(fun () ->
+      Metrics.unregister ~name:"exps";
+      Metrics.unregister ~name:"group_mults";
+      List.iter (fun (name, _) -> Metrics.unregister ~name) G.probes;
+      Pool.set_jobs 1)
+  @@ fun () ->
+  let exps0 = Ppgr_group.Opmeter.count () in
+  let mults0 = G.op_count () in
+  let t0 = Unix.gettimeofday () in
+  let out, spans =
+    Trace.capture (fun () ->
+        Framework.run_with_group
+          (module G : Ppgr_group.Group_intf.GROUP)
+          rng cfg ~criterion ~infos)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let rows = Summary.rows spans in
+  let phases = Summary.by_phase rows in
+  let sched = out.Framework.costs.Framework.schedule in
+  let tot_exps = Summary.total rows "exps" in
+  let tot_mults = Summary.total rows "group_mults" in
+  let tot_bytes = Summary.total rows "bytes_out" in
+  let consistent =
+    tot_exps = Ppgr_group.Opmeter.count () - exps0
+    && tot_mults = G.op_count () - mults0
+    && tot_bytes = Cost.total_bytes sched
+  in
+  let ring_bytes = phase_metric phases "phase2.ring.wire" "bytes_out" in
+  (* The framed ring ships n-1 hop frames plus n-1 owner returns. *)
+  let ring_msgs = 2 * (n - 1) in
+  {
+    jobs;
+    wall_s;
+    ring_s = phase_wall_s phases "phase2.ring";
+    ring_bytes;
+    ring_msgs;
+    ranks = out.Framework.ranks;
+    transcript = transcript_digest out.Framework.ranks sched;
+    tot_exps;
+    tot_mults;
+    tot_bytes;
+    consistent;
+  }
+
+let print_point group_name p =
+  Printf.printf
+    "%s jobs=%d  total %6.2f s  ring %6.2f s  ring bytes %d  ranks [%s]  \
+     (attribution %s)\n\
+     %!"
+    group_name p.jobs p.wall_s p.ring_s p.ring_bytes
+    (String.concat ";" (Array.to_list (Array.map string_of_int p.ranks)))
+    (if p.consistent then "consistent" else "INCONSISTENT")
+
+(* EC batch normalization, measured directly: serialize one batch of
+   points per-element and batched, counting field inversions via the
+   group's probe.  None for groups without the probe (DL residues are
+   affine already). *)
+type batch_micro = {
+  bm_points : int;
+  bm_per_elem_invs : int;
+  bm_batch_invs : int;
+  bm_per_elem_s : float;
+  bm_batch_s : float;
+}
+
+let batch_normalization_micro (gfam : unit -> Ppgr_group.Group_intf.group) =
+  let module G = (val gfam ()) in
+  match List.assoc_opt "field_invs" G.probes with
+  | None -> None
+  | Some read_invs ->
+      let rng = Ppgr_rng.Rng.create ~seed:"ppgr-bench-ring-batch" in
+      let pts = Array.init 256 (fun _ -> G.pow_gen (G.random_scalar rng)) in
+      let i0 = read_invs () in
+      let t0 = Unix.gettimeofday () in
+      let per_elem = Array.map G.to_bytes pts in
+      let t1 = Unix.gettimeofday () in
+      let i1 = read_invs () in
+      let batched = G.to_bytes_batch pts in
+      let t2 = Unix.gettimeofday () in
+      let i2 = read_invs () in
+      if per_elem <> batched then
+        failwith "ring bench: batched serialization differs from per-element";
+      Some
+        {
+          bm_points = Array.length pts;
+          bm_per_elem_invs = i1 - i0;
+          bm_batch_invs = i2 - i1;
+          bm_per_elem_s = t1 -. t0;
+          bm_batch_s = t2 -. t1;
+        }
+
+type sweep = {
+  group_name : string;
+  points : point list;
+  identical : bool; (* transcripts equal across job counts *)
+  batch : batch_micro option;
+}
+
+let sweep_group (name, gfam) =
+  Printf.printf "-- %s --\n%!" name;
+  let points =
+    List.map
+      (fun jobs ->
+        let p = run_point gfam jobs in
+        print_point name p;
+        p)
+      [ 1; 2; 4 ]
+  in
+  let base = List.hd points in
+  let identical =
+    List.for_all
+      (fun p -> p.transcript = base.transcript && p.ranks = base.ranks)
+      points
+  in
+  Printf.printf "transcripts identical across job counts: %s\n%!"
+    (if identical then "yes" else "NO - DETERMINISM BUG");
+  let batch = batch_normalization_micro gfam in
+  Option.iter
+    (fun b ->
+      Printf.printf
+        "batch normalization: %d points, %d invs per-element vs %d batched \
+         (%.4f s vs %.4f s)\n\
+         %!"
+        b.bm_points b.bm_per_elem_invs b.bm_batch_invs b.bm_per_elem_s
+        b.bm_batch_s)
+    batch;
+  { group_name = name; points; identical; batch }
+
+let emit_sweep oc s =
+  let out fmt = Printf.fprintf oc fmt in
+  let base = List.hd s.points in
+  out "    {\n";
+  out "      \"group\": %S,\n" s.group_name;
+  out "      \"transcript_digest\": %S,\n" base.transcript;
+  out "      \"transcripts_identical_across_jobs\": %b,\n" s.identical;
+  out "      \"ranks\": [%s],\n"
+    (String.concat ", " (Array.to_list (Array.map string_of_int base.ranks)));
+  out "      \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      out
+        "        {\"jobs\": %d, \"wall_s\": %.3f, \"ring_wall_s\": %.4f, \
+         \"ring_wire_bytes\": %d, \"ring_messages\": %d, \
+         \"totals\": {\"exps\": %d, \"group_mults\": %d, \"bytes\": %d}, \
+         \"attribution_consistent\": %b}%s\n"
+        p.jobs p.wall_s p.ring_s p.ring_bytes p.ring_msgs
+        p.tot_exps p.tot_mults p.tot_bytes p.consistent
+        (if i = List.length s.points - 1 then "" else ","))
+    s.points;
+  out "      ],\n";
+  out "      \"speedup_vs_jobs1\": [\n";
+  List.iteri
+    (fun i p ->
+      out "        {\"jobs\": %d, \"ring\": %.3f, \"total\": %.3f}%s\n" p.jobs
+        (base.ring_s /. p.ring_s) (base.wall_s /. p.wall_s)
+        (if i = List.length s.points - 1 then "" else ","))
+    s.points;
+  out "      ],\n";
+  (match s.batch with
+  | None -> out "      \"batch_normalization\": null\n"
+  | Some b ->
+      out
+        "      \"batch_normalization\": {\"points\": %d, \
+         \"per_element_invs\": %d, \"batched_invs\": %d, \
+         \"per_element_s\": %.4f, \"batched_s\": %.4f}\n"
+        b.bm_points b.bm_per_elem_invs b.bm_batch_invs b.bm_per_elem_s
+        b.bm_batch_s);
+  out "    }"
+
+let run () =
+  Printf.printf "\n== Ring hot path (%s) ==\n%!" json_path;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "cores detected: %d; traced runs n=%d k=%d h=%d at jobs in {1, 2, 4}\n%!"
+    cores n k h;
+  let sweeps =
+    List.map sweep_group
+      [
+        ("DL-1024", Ppgr_group.Dl_group.dl_1024);
+        ("ECC-160", Ppgr_group.Ec_group.ecc_160);
+      ]
+  in
+  let oc = open_out json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 4,\n";
+  out
+    "  \"description\": \"ring-pass overhaul: owner-level parallelism, framed \
+     hops, work stealing, EC batch normalization\",\n";
+  out "  \"baseline\": \"BENCH_PR3.json (same n/k/h/spec)\",\n";
+  out "  \"cores_detected\": %d,\n" cores;
+  out "  \"n\": %d,\n" n;
+  out "  \"k\": %d,\n" k;
+  out "  \"h\": %d,\n" h;
+  out "  \"ring_frame_overhead_bytes_per_hop\": %d,\n"
+    (Wire.hop_frame_bytes (List.init n (fun _ -> 0)));
+  out "  \"trajectory\": [\n";
+  List.iteri
+    (fun i s ->
+      emit_sweep oc s;
+      out "%s\n" (if i = List.length sweeps - 1 then "" else ","))
+    sweeps;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  if List.exists (fun s -> not s.identical) sweeps then
+    failwith "ring bench: transcripts differ across job counts";
+  if List.exists (fun s -> List.exists (fun p -> not p.consistent) s.points) sweeps
+  then failwith "ring bench: span attribution disagrees with the global meters"
+
+(* The cheap CI variant: test-size groups, asserts transcript equality
+   across job counts and the attribution tiling, prints timings, writes
+   no file. *)
+let smoke () =
+  Printf.printf "\n== Ring smoke (test groups, jobs 1 vs 4) ==\n%!";
+  Printf.printf "cores detected: %d\n%!" (Domain.recommended_domain_count ());
+  List.iter
+    (fun (name, gfam) ->
+      Printf.printf "-- %s --\n%!" name;
+      let points =
+        List.map
+          (fun jobs ->
+            let p = run_point gfam jobs in
+            print_point name p;
+            p)
+          [ 1; 4 ]
+      in
+      let base = List.hd points in
+      List.iter
+        (fun p ->
+          if p.transcript <> base.transcript then
+            failwith
+              (Printf.sprintf "ring smoke (%s): jobs=%d transcript differs"
+                 name p.jobs);
+          if not p.consistent then
+            failwith
+              (Printf.sprintf
+                 "ring smoke (%s): jobs=%d attribution inconsistent" name
+                 p.jobs))
+        points;
+      Printf.printf "transcripts identical, attribution consistent: ok\n%!")
+    [
+      ("DL-test-64", Ppgr_group.Dl_group.dl_test_64);
+      ("ECC-tiny", Ppgr_group.Ec_group.ecc_tiny);
+    ]

@@ -110,9 +110,14 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics =
   let observing = trace <> None || jsonl <> None || metrics in
   if observing then begin
     (* The probes sampled at every span boundary: full exponentiations
-       (global engine meter) and this group's multiplication counter. *)
+       (global engine meter), this group's multiplication counter, and
+       any family-specific counters the group exports (the EC family's
+       field-inversion count, where batch normalization shows up). *)
     Ppgr_obs.Metrics.register ~name:"exps" (fun () -> Ppgr_group.Opmeter.count ());
-    Ppgr_obs.Metrics.register ~name:"group_mults" (fun () -> G.op_count ())
+    Ppgr_obs.Metrics.register ~name:"group_mults" (fun () -> G.op_count ());
+    List.iter
+      (fun (name, read) -> Ppgr_obs.Metrics.register ~name read)
+      G.probes
   end;
   let exps0 = Ppgr_group.Opmeter.count () in
   let mults0 = G.op_count () in
@@ -125,7 +130,10 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics =
   in
   if observing then begin
     Ppgr_obs.Metrics.unregister ~name:"exps";
-    Ppgr_obs.Metrics.unregister ~name:"group_mults"
+    Ppgr_obs.Metrics.unregister ~name:"group_mults";
+    List.iter
+      (fun (name, _) -> Ppgr_obs.Metrics.unregister ~name)
+      G.probes
   end;
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "\n%-4s %-10s %s\n" "who" "rank" "gain (cleartext, for reference only)";

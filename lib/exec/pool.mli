@@ -1,4 +1,5 @@
-(** A fixed-size domain pool with deterministic parallel loops.
+(** A fixed-size work-stealing domain pool with deterministic parallel
+    loops.
 
     The pool runs [jobs () - 1] worker domains plus the calling domain;
     with [jobs () = 1] (the default) every combinator degenerates to the
@@ -15,15 +16,21 @@
     this repository follows that rule, which is what makes [jobs=k]
     transcripts identical to [jobs=1] transcripts.
 
-    Nested calls (a task invoking a [parallel_*] combinator) run the
-    inner loop sequentially on the task's domain: the pool is a single
-    flat team, not a work-stealing tree.  Combinators must be invoked
-    from the main domain.
+    {b Nesting.}  A task may itself invoke a [parallel_*] combinator:
+    the nested batch is published on the submitting domain's deque,
+    drained by the submitter, and stolen from by idle domains, so inner
+    loops (per-pair comparison circuits, [phase2.count]) exploit domains
+    left idle by an outer loop's tail.  The submitter's own drain alone
+    completes every task nobody stole, so joins terminate by induction
+    on the nesting depth — work stealing is a throughput refinement,
+    never a liveness requirement.  Top-level combinator calls must still
+    come from the main domain (or from pool tasks); never from
+    independently spawned domains.
 
-    Exceptions raised by tasks are re-raised in the caller after the
-    batch drains; when several tasks fail, the exception of the
-    lowest-indexed failing task wins, matching what the sequential loop
-    would have raised first. *)
+    Exceptions raised by tasks are re-raised in the submitter after the
+    batch completes; when several tasks of one batch fail, the exception
+    of the lowest-indexed failing task wins, matching what the
+    sequential loop would have raised first. *)
 
 val max_jobs : int
 
@@ -37,7 +44,8 @@ val set_jobs : int -> unit
     live pool so the next parallel call respawns at the new size. *)
 
 val in_parallel_task : unit -> bool
-(** True while the calling domain is executing a pool task. *)
+(** True while the calling domain is executing a pool task (at any
+    nesting depth). *)
 
 val parallel_init : int -> (int -> 'a) -> 'a array
 (** Like [Array.init], tasks distributed over the pool. *)

@@ -204,6 +204,11 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
     Bigint.to_bytes_be_padded element_bytes
       (Bigint.Modring.leave ring x)
 
+  (* Residues are affine already: batching buys nothing here, the hook
+     exists for the EC family's shared-inversion normalization. *)
+  let to_bytes_batch a = Array.map to_bytes a
+  let probes = []
+
   let of_bytes b =
     if Bytes.length b <> element_bytes then None
     else begin

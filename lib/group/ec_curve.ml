@@ -28,6 +28,7 @@ type curve = {
   cb : Modring.elt;
   a_is_minus3 : bool;
   ops : Ppgr_exec.Meter.t; (* point additions/doublings performed *)
+  invs : Ppgr_exec.Meter.t; (* field inversions (normalization cost) *)
 }
 
 type point = {
@@ -46,6 +47,7 @@ let make_curve prm =
     cb = Modring.enter fp prm.b;
     a_is_minus3 = Bigint.equal (Bigint.erem prm.a prm.p) (Bigint.sub prm.p (Bigint.of_int 3));
     ops = Ppgr_exec.Meter.create ();
+    invs = Ppgr_exec.Meter.create ();
   }
 
 let infinity cv = { x = Modring.one cv.fp; y = Modring.one cv.fp; z = Modring.zero cv.fp }
@@ -59,6 +61,7 @@ let base_point cv = of_affine cv cv.prm.gx cv.prm.gy
 let to_affine cv pt =
   if is_infinity cv pt then None
   else begin
+    Ppgr_exec.Meter.incr cv.invs;
     let zi = Modring.inv cv.fp pt.z in
     let zi2 = Modring.sqr cv.fp zi in
     let zi3 = Modring.mul cv.fp zi2 zi in
@@ -66,6 +69,50 @@ let to_affine cv pt =
       ( Modring.leave cv.fp (Modring.mul cv.fp pt.x zi2),
         Modring.leave cv.fp (Modring.mul cv.fp pt.y zi3) )
   end
+
+(** Normalize a whole batch with Montgomery's shared-inversion trick:
+    one field inversion for the entire array (infinity points skipped),
+    plus 3 multiplications per point for the prefix/suffix walk on top
+    of [to_affine]'s own 3 — field inversions cost tens of
+    multiplications, so a [k]-point batch replaces [k] inversions with
+    one.  Element [i] of the result is [to_affine cv pts.(i)]. *)
+let to_affine_batch cv pts =
+  let f = cv.fp in
+  let n = Array.length pts in
+  let pos = Array.make (Stdlib.max n 1) 0 in
+  let zs = Array.make (Stdlib.max n 1) (Modring.one f) in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if not (is_infinity cv pts.(i)) then begin
+      pos.(!m) <- i;
+      zs.(!m) <- pts.(i).z;
+      incr m
+    end
+  done;
+  let m = !m in
+  let out = Array.make n None in
+  if m > 0 then begin
+    (* prefix.(k) = zs.(0) * ... * zs.(k) *)
+    let prefix = Array.make m zs.(0) in
+    for k = 1 to m - 1 do
+      prefix.(k) <- Modring.mul f prefix.(k - 1) zs.(k)
+    done;
+    Ppgr_exec.Meter.incr cv.invs;
+    (* acc = inverse of zs.(0) * ... * zs.(k) during the back walk *)
+    let acc = ref (Modring.inv f prefix.(m - 1)) in
+    for k = m - 1 downto 0 do
+      let zi = if k = 0 then !acc else Modring.mul f !acc prefix.(k - 1) in
+      acc := Modring.mul f !acc zs.(k);
+      let i = pos.(k) in
+      let zi2 = Modring.sqr f zi in
+      let zi3 = Modring.mul f zi2 zi in
+      out.(i) <-
+        Some
+          ( Modring.leave f (Modring.mul f pts.(i).x zi2),
+            Modring.leave f (Modring.mul f pts.(i).y zi3) )
+    done
+  end;
+  out
 
 let on_curve cv pt =
   if is_infinity cv pt then true

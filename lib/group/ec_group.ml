@@ -56,15 +56,23 @@ end) : Group_intf.GROUP = struct
   let fbytes = (Bigint.numbits P.params.Ec_curve.p + 7) / 8
   let element_bytes = 1 + (2 * fbytes)
 
-  let to_bytes pt =
+  let affine_bytes aff =
     let out = Bytes.make element_bytes '\000' in
-    (match Ec_curve.to_affine cv pt with
+    (match aff with
     | None -> () (* infinity: all-zero encoding with tag 0 *)
     | Some (ax, ay) ->
         Bytes.set out 0 '\004';
         Bytes.blit (Bigint.to_bytes_be_padded fbytes ax) 0 out 1 fbytes;
         Bytes.blit (Bigint.to_bytes_be_padded fbytes ay) 0 out (1 + fbytes) fbytes);
     out
+
+  let to_bytes pt = affine_bytes (Ec_curve.to_affine cv pt)
+
+  (* One Montgomery batch inversion normalizes the whole array, so a
+     wire message's Jacobian→affine cost is one field inversion per
+     batch instead of one per point. *)
+  let to_bytes_batch pts =
+    Array.map affine_bytes (Ec_curve.to_affine_batch cv pts)
 
   let of_bytes b =
     if Bytes.length b <> element_bytes then None
@@ -89,6 +97,9 @@ end) : Group_intf.GROUP = struct
   let reset_op_count () = Ppgr_exec.Meter.reset cv.Ec_curve.ops
   let op_snapshot () = Ppgr_exec.Meter.snapshot cv.Ec_curve.ops
   let ops_since s = Ppgr_exec.Meter.since cv.Ec_curve.ops s
+
+  let probes =
+    [ ("field_invs", fun () -> Ppgr_exec.Meter.read cv.Ec_curve.invs) ]
 end
 
 let of_params params : Group_intf.group =

@@ -63,6 +63,14 @@ module type GROUP = sig
   val to_bytes : element -> Bytes.t
   (** Fixed-length canonical encoding ({!element_bytes} bytes). *)
 
+  val to_bytes_batch : element array -> Bytes.t array
+  (** [to_bytes_batch a] equals [Array.map to_bytes a], but families with
+      a projective internal representation amortize the normalization:
+      the EC family converts the whole batch Jacobian→affine with one
+      Montgomery batch inversion instead of one field inversion per
+      point.  The serializers use it for every multi-ciphertext wire
+      message. *)
+
   val of_bytes : Bytes.t -> element option
   (** Decode and validate group membership. *)
 
@@ -87,6 +95,12 @@ module type GROUP = sig
   val ops_since : int -> int
   (** [ops_since s] is the multiplications performed since the
       {!op_snapshot} that returned [s]. *)
+
+  val probes : (string * (unit -> int)) list
+  (** Family-specific cost counters beyond group multiplications, as
+      [(name, read)] pairs for the observability probe registry — e.g.
+      the EC family's field-inversion count (where batch normalization
+      shows up).  Empty when the family has nothing extra to report. *)
 end
 
 type group = (module GROUP)
@@ -160,6 +174,7 @@ module Naive (G : GROUP) : GROUP with type element = G.element = struct
   let equal = G.equal
   let is_identity = G.is_identity
   let to_bytes = G.to_bytes
+  let to_bytes_batch = G.to_bytes_batch
   let of_bytes = G.of_bytes
   let element_bytes = G.element_bytes
   let pp = G.pp
@@ -168,4 +183,5 @@ module Naive (G : GROUP) : GROUP with type element = G.element = struct
   let reset_op_count = G.reset_op_count
   let op_snapshot = G.op_snapshot
   let ops_since = G.ops_since
+  let probes = G.probes
 end

@@ -31,16 +31,23 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         if (not (List.mem i honest)) && not (Bigint.equal a betas_b.(i)) then
           invalid_arg "Games: colluder betas must agree between branches")
       betas_a;
-    (* Both branches start from explicitly reset meters, so the
-       per-party counts each run reports are branch-local and can be
-       compared between the two views. *)
-    let fresh_run rng ~betas =
-      G.reset_op_count ();
-      Ppgr_group.Opmeter.reset ();
-      P2.run rng ~l ~betas
+    (* The two branches are independent end-to-end runs given forked
+       RNG streams, so they execute as two pool tasks.  Meters are
+       reset once before both: a per-branch reset would race with the
+       other branch's concurrent ticks, so the counts a run reports are
+       no longer branch-local — the games only consume [ranks], which
+       are schedule-independent by the pool's determinism contract. *)
+    G.reset_op_count ();
+    Ppgr_group.Opmeter.reset ();
+    let branch_rngs =
+      [| Rng.split rng ~label:"branch-a"; Rng.split rng ~label:"branch-b" |]
     in
-    let ra = (fresh_run (Rng.split rng ~label:"branch-a") ~betas:betas_a).P2.ranks in
-    let rb = (fresh_run (Rng.split rng ~label:"branch-b") ~betas:betas_b).P2.ranks in
+    let branch_betas = [| betas_a; betas_b |] in
+    let results =
+      Ppgr_exec.Pool.parallel_init 2 (fun b ->
+          (P2.run branch_rngs.(b) ~l ~betas:branch_betas.(b)).P2.ranks)
+    in
+    let ra = results.(0) and rb = results.(1) in
     let ok = ref true in
     for i = 0 to n - 1 do
       if (not (List.mem i honest)) && ra.(i) <> rb.(i) then ok := false
@@ -128,12 +135,20 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       Array.init n (fun i -> Bigint.of_int (match i with 0 -> 1 | 1 -> 2 | _ -> 0))
     in
     let positions = Array.make ((n - 1) * l) 0 in
-    for t = 1 to trials do
-      let r =
-        P2.run (Rng.split rng ~label:(Printf.sprintf "zero-pos-%d" t)) ~l ~betas
-      in
-      let flags = r.P2.zero_flags.(0) in
-      Array.iteri (fun c z -> if z then positions.(c) <- positions.(c) + 1) flags
-    done;
+    (* Trials are independent runs on stable-label streams; they fan
+       out over the pool and the histogram accumulates afterwards (sum
+       order is immaterial). *)
+    let flags =
+      Ppgr_exec.Pool.parallel_init trials (fun t ->
+          let r =
+            P2.run
+              (Rng.split rng ~label:(Printf.sprintf "zero-pos-%d" (t + 1)))
+              ~l ~betas
+          in
+          r.P2.zero_flags.(0))
+    in
+    Array.iter
+      (Array.iteri (fun c z -> if z then positions.(c) <- positions.(c) + 1))
+      flags;
     positions
 end

@@ -41,6 +41,7 @@ module Trace = Ppgr_obs.Trace
 module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   module E = Ppgr_elgamal.Elgamal.Make (G)
   module Z = Ppgr_zkp.Schnorr.Make (G)
+  module W = Wire.Make (G)
 
   let scalar_bytes = (Bigint.numbits G.order + 7) / 8
 
@@ -302,22 +303,57 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
               (Array.to_list
                  (Array.map (function Some cs -> cs | None -> [||]) sets.(j))))
       in
-      let all_sets_bytes = n * per_set_ciphers * E.cipher_bytes in
+      (* Wire accounting for the ring: an intermediate hop ships all n
+         sets as ONE framed message (exact serialized size, frame
+         header + per-payload length prefixes + n encoded cipher
+         batches); the final hop returns each owner's set as one
+         cipher-batch message. *)
+      let set_msg_bytes = W.cipher_batch_bytes per_set_ciphers in
+      let frame_bytes =
+        Wire.hop_frame_bytes (List.init n (fun _ -> set_msg_bytes))
+      in
       for hop = 0 to n - 1 do
-        (* Party [hop] processes every set but its own. *)
+        (* Party [hop] processes every set but its own: the (owner,
+           slot) pairs flatten into one index space so the hop
+           saturates every domain, not just one owner's l-ish slots.
+           Stream derivation is unchanged — splitting never disturbs
+           the parent, so hoisting all owner/slot splits ahead of the
+           flat pass leaves every derived stream (and the closing
+           per-owner shuffles) byte-identical to the nested loops. *)
         let s_hop = snap () in
         Trace.with_span ~attrs:[ ("hop", Trace.Int hop) ] "phase2.ring.hop"
           (fun () ->
             with_party ~step:"ring" ops hop (fun () ->
-                for owner = 0 to n - 1 do
-                  if owner <> hop then
-                    blind_set
-                      (Rng.split party_rngs.(hop) ~label:hop_owner_labels.(owner))
-                      ~labels:blind_labels (fst keys.(hop)) v.(owner)
-                done));
+                let owners =
+                  Array.of_list
+                    (List.filter (fun o -> o <> hop) (List.init n Fun.id))
+                in
+                let orngs =
+                  Array.map
+                    (fun owner ->
+                      Rng.split party_rngs.(hop) ~label:hop_owner_labels.(owner))
+                    owners
+                in
+                let slot_rngs =
+                  Array.init
+                    (Array.length owners * per_set_ciphers)
+                    (fun t ->
+                      Rng.split orngs.(t / per_set_ciphers)
+                        ~label:blind_labels.(t mod per_set_ciphers))
+                in
+                let sk = fst keys.(hop) in
+                Ppgr_exec.Pool.parallel_for
+                  (Array.length owners * per_set_ciphers)
+                  (fun t ->
+                    let set = v.(owners.(t / per_set_ciphers)) in
+                    let c = t mod per_set_ciphers in
+                    set.(c) <- E.partial_decrypt_blind slot_rngs.(t) sk set.(c));
+                Array.iteri
+                  (fun k owner -> Rng.shuffle orngs.(k) v.(owner))
+                  owners));
         if hop < n - 1 then
           round ~step:"ring" ~critical_ops:(crit_since s_hop)
-            (Netsim.unicast ~src:hop ~dst:(hop + 1) ~bytes:all_sets_bytes)
+            (Netsim.unicast ~src:hop ~dst:(hop + 1) ~bytes:frame_bytes)
         else
           (* P_n returns each set to its owner. *)
           round ~step:"ring" ~critical_ops:(crit_since s_hop)
@@ -326,7 +362,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
                  if owner = n - 1 then []
                  else
                    Netsim.unicast ~src:(n - 1) ~dst:owner
-                     ~bytes:(per_set_ciphers * E.cipher_bytes))
+                     ~bytes:set_msg_bytes)
                (List.init n (fun o -> o)))
       done;
       (* Final counting: strip own layer, count zero plaintexts. *)

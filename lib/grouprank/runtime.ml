@@ -165,30 +165,70 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
      as one opaque set owned by this party. *)
 
   (** Step 8, one hop: decode the full vector (n sets), partially
-      decrypt + blind + permute every set but one's own, re-encode. *)
+      decrypt + blind + permute every set but one's own, re-encode.
+
+      The [(owner set × slot)] pairs are flattened into one index space
+      so the hop saturates every domain instead of parallelizing only
+      within one owner's [l]-ish slots.  Determinism is unchanged: each
+      owner stream is a [split] of the party stream (splitting never
+      disturbs the parent, so the split order is immaterial), each slot
+      stream a split of its owner stream keyed by stable position, and
+      the closing per-owner shuffles draw from the owner streams the
+      splits left undisturbed — byte-identical transcripts to the
+      per-owner nested loops. *)
   let ring_hop p ~(v_msgs : Bytes.t array) : Bytes.t array =
+    let n = Array.length v_msgs in
+    let sets =
+      Array.init n (fun owner ->
+          if owner = p.index then [||]
+          else W.decode_cipher_batch v_msgs.(owner))
+    in
+    let orngs =
+      Array.init n (fun owner ->
+          if owner = p.index then p.rng (* unused *)
+          else Rng.split p.rng ~label:p.labels.lab_owner.(owner))
+    in
+    (* Flat task index -> (owner, slot). *)
+    let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 sets in
+    let owner_of = Array.make (Stdlib.max total 1) 0 in
+    let slot_of = Array.make (Stdlib.max total 1) 0 in
+    let t = ref 0 in
+    Array.iteri
+      (fun owner set ->
+        Array.iteri
+          (fun c _ ->
+            owner_of.(!t) <- owner;
+            slot_of.(!t) <- c;
+            incr t)
+          set)
+      sets;
+    let slot_rngs =
+      Array.init total (fun t ->
+          Rng.split orngs.(owner_of.(t)) ~label:p.labels.lab_blind.(slot_of.(t)))
+    in
+    Ppgr_exec.Pool.parallel_for total (fun t ->
+        let set = sets.(owner_of.(t)) in
+        let c = slot_of.(t) in
+        set.(c) <- E.partial_decrypt_blind slot_rngs.(t) p.seckey set.(c));
     Array.mapi
       (fun owner set_bytes ->
         if owner = p.index then set_bytes
         else begin
-          let set = W.decode_cipher_batch set_bytes in
-          (* Per-owner child stream, then one stream per slot: the
-             blinding exponents fan out over the pool and the closing
-             shuffle draws from the owner stream the splits left
-             undisturbed. *)
-          let orng = Rng.split p.rng ~label:p.labels.lab_owner.(owner) in
-          let slot_rngs =
-            Array.init (Array.length set) (fun c ->
-                Rng.split orng ~label:p.labels.lab_blind.(c))
-          in
-          let processed =
-            Ppgr_exec.Pool.parallel_init (Array.length set) (fun c ->
-                E.partial_decrypt_blind slot_rngs.(c) p.seckey set.(c))
-          in
-          Rng.shuffle orng processed;
-          W.encode_cipher_batch processed
+          Rng.shuffle orngs.(owner) sets.(owner);
+          W.encode_cipher_batch sets.(owner)
         end)
       v_msgs
+
+  (** Unpack one framed ring-hop message back into the [n] per-owner
+      set payloads; validating (tag, lengths, count). *)
+  let ring_receive_frame p (frame : Bytes.t) : Bytes.t array =
+    let payloads = Wire.decode_hop_frame frame in
+    if Array.length payloads <> p.n then
+      raise
+        (Wire.Malformed
+           (Printf.sprintf "hop frame carries %d sets, expected %d"
+              (Array.length payloads) p.n));
+    payloads
 
   (** Final step: strip one's own layer from the returned set and read
       off the rank. *)
@@ -304,8 +344,10 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
                 (party_span "compare" j (fun () -> compare_all p ~enc_msgs)))
             parties)
     in
-    (* Ring pass: each hop receives the vector, processes, forwards
-       (the final hop returns each set to its owner). *)
+    (* Ring pass: each hop receives the vector, processes, forwards.
+       Intermediate hops ship all n sets as ONE framed message (the
+       receiver unpacks and validates it); the final hop returns each
+       set to its owner and keeps its own. *)
     let v = ref v in
     for hop = 0 to n - 1 do
       let processed =
@@ -314,13 +356,20 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
           "runtime.ring"
           (fun () -> ring_hop parties.(hop) ~v_msgs:!v)
       in
-      v :=
-        wire_mark "ring" (fun () ->
-            Array.mapi
-              (fun owner m ->
-                let dst = if hop = n - 1 then owner else hop + 1 in
-                send ~src:hop ~dst m)
-              processed)
+      if hop < n - 1 then begin
+        let frame =
+          wire_mark "ring" (fun () ->
+              send ~src:hop ~dst:(hop + 1) (Wire.encode_hop_frame processed))
+        in
+        v := ring_receive_frame parties.(hop + 1) frame
+      end
+      else
+        v :=
+          wire_mark "ring" (fun () ->
+              Array.mapi
+                (fun owner m ->
+                  if owner = hop then m else send ~src:hop ~dst:owner m)
+                processed)
     done;
     (* Return each set to its owner; owners decode and count. *)
     let ranks =

@@ -105,7 +105,37 @@ let tag_dot_round2 = 0x02
 let tag_pubkey = 0x10
 let tag_zkp = 0x11
 let tag_cipher_batch = 0x12
+let tag_hop_frame = 0x13
 let tag_submission = 0x20
+
+(** {1 Hop frames}
+
+    A ring hop used to ship [n] separate cipher-batch messages, one per
+    owner set; a hop frame packs them into a single wire message so a
+    hop costs one send.  The frame is payload-agnostic: a one-byte tag,
+    a u16 payload count, then each payload as a u32-length-prefixed
+    blob — round-tripping whatever [encode_cipher_batch] produced
+    without re-encoding. *)
+
+let encode_hop_frame (payloads : Bytes.t array) =
+  let b = W.create () in
+  W.u8 b tag_hop_frame;
+  W.u16 b (Array.length payloads);
+  Array.iter (W.blob b) payloads;
+  W.contents b
+
+let decode_hop_frame data =
+  let r = R.of_bytes data in
+  if R.u8 r <> tag_hop_frame then fail "bad tag for hop frame";
+  let n = R.u16 r in
+  let payloads = Array.init n (fun _ -> R.blob r) in
+  R.expect_end r;
+  payloads
+
+(** Exact serialized size of a frame over payloads of the given sizes:
+    tag + count + one u32 length prefix per payload. *)
+let hop_frame_bytes payload_sizes =
+  1 + 2 + List.fold_left (fun acc s -> acc + 4 + s) 0 payload_sizes
 
 let encode_vec b (v : Bigint.t array) =
   W.u16 b (Array.length v);
@@ -232,12 +262,22 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     let c' = decode_element r in
     { E.c; c' }
 
-  (** A batch of ciphertexts (step-6 bit vectors, step-7/8 sets). *)
+  (** A batch of ciphertexts (step-6 bit vectors, step-7/8 sets).
+      Element serialization goes through [G.to_bytes_batch] so the EC
+      family normalizes the whole batch with one shared field
+      inversion. *)
   let encode_cipher_batch (cs : E.cipher array) =
+    let k = Array.length cs in
+    let els =
+      Array.init (2 * k) (fun i ->
+          let c = cs.(i / 2) in
+          if i land 1 = 0 then c.E.c else c.E.c')
+    in
+    let raw = G.to_bytes_batch els in
     let b = W.create () in
     W.u8 b tag_cipher_batch;
-    W.u32 b (Array.length cs);
-    Array.iter (encode_cipher b) cs;
+    W.u32 b k;
+    Array.iter (Buffer.add_bytes b) raw;
     W.contents b
 
   let decode_cipher_batch data =

@@ -66,6 +66,25 @@ let group_suite name (g : Group_intf.group) =
         let before = G.op_count () in
         ignore (G.mul a a);
         Alcotest.(check bool) "counted" true (G.op_count () > before));
+    Alcotest.test_case (name ^ ": batch serialization = per-element") `Quick
+      (fun () ->
+        (* Identity elements sprinkled in exercise the EC family's
+           infinity-skipping inside the shared-inversion batch. *)
+        let els =
+          Array.init 17 (fun i ->
+              if i mod 5 = 2 then G.identity else random_elt ())
+        in
+        let batch = G.to_bytes_batch els in
+        Array.iteri
+          (fun i e -> Alcotest.(check bytes) "element" (G.to_bytes e) batch.(i))
+          els;
+        Alcotest.(check int) "empty batch" 0
+          (Array.length (G.to_bytes_batch [||]));
+        let ids = G.to_bytes_batch (Array.make 3 G.identity) in
+        Array.iter
+          (fun b ->
+            Alcotest.(check bytes) "all-identity batch" (G.to_bytes G.identity) b)
+          ids);
   ]
 
 let wnaf_tests =
@@ -131,6 +150,48 @@ let ec_structural_tests =
         Bytes.set b (Bytes.length b - 1)
           (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 1));
         Alcotest.(check bool) "rejected" true (G.of_bytes b = None));
+    Alcotest.test_case "batch normalization = per-point, incl. infinity" `Quick
+      (fun () ->
+        (* Jacobian points with non-trivial z (built by additions), the
+           point at infinity at the batch edges and in the middle. *)
+        let pts =
+          Array.init 15 (fun k ->
+              if k = 0 || k = 7 || k = 14 then Ec_curve.infinity cv
+              else Ec_curve.scalar_mul cv g (Bigint.of_int k))
+        in
+        let batch = Ec_curve.to_affine_batch cv pts in
+        Array.iteri
+          (fun k pt ->
+            match (Ec_curve.to_affine cv pt, batch.(k)) with
+            | None, None -> ()
+            | Some (x, y), Some (x', y') ->
+                Alcotest.(check bool) (Printf.sprintf "x %d" k) true
+                  (Bigint.equal x x');
+                Alcotest.(check bool) (Printf.sprintf "y %d" k) true
+                  (Bigint.equal y y')
+            | _ -> Alcotest.failf "infinity mismatch at %d" k)
+          pts;
+        Alcotest.(check int) "all-infinity batch" 0
+          (List.length
+             (List.filter Option.is_some
+                (Array.to_list
+                   (Ec_curve.to_affine_batch cv
+                      (Array.make 4 (Ec_curve.infinity cv)))))));
+    Alcotest.test_case "batch normalization costs one field inversion" `Quick
+      (fun () ->
+        let pts =
+          Array.init 9 (fun k ->
+              if k = 4 then Ec_curve.infinity cv
+              else Ec_curve.scalar_mul cv g (Bigint.of_int (k + 1)))
+        in
+        let before = Ppgr_exec.Meter.read cv.Ec_curve.invs in
+        ignore (Ec_curve.to_affine_batch cv pts);
+        Alcotest.(check int) "one inversion for the whole batch" (before + 1)
+          (Ppgr_exec.Meter.read cv.Ec_curve.invs);
+        let before = Ppgr_exec.Meter.read cv.Ec_curve.invs in
+        Array.iter (fun p -> ignore (Ec_curve.to_affine cv p)) pts;
+        Alcotest.(check int) "eight inversions per-point" (before + 8)
+          (Ppgr_exec.Meter.read cv.Ec_curve.invs));
   ]
 
 let dl_structural_tests =

@@ -52,7 +52,7 @@ let pool_suite =
         Alcotest.(check (array int)) "pool reusable after failure"
           (Array.init 8 (fun i -> i * 2))
           ok);
-    Alcotest.test_case "nested combinators degrade to sequential" `Quick
+    Alcotest.test_case "nested combinators run under work stealing" `Quick
       (fun () ->
         Pool.set_jobs 4;
         let got =
@@ -64,6 +64,57 @@ let pool_suite =
         Pool.set_jobs 1;
         let expect = Array.init 6 (fun i -> (10 * i) + 45) in
         Alcotest.(check (array int)) "nested sums" expect got);
+    Alcotest.test_case "three-deep nesting keeps slot order" `Quick (fun () ->
+        Pool.set_jobs 4;
+        let got =
+          Pool.parallel_init 4 (fun i ->
+              Pool.parallel_init 3 (fun j ->
+                  Array.fold_left ( + ) 0
+                    (Pool.parallel_init 5 (fun k -> (100 * i) + (10 * j) + k))))
+        in
+        Pool.set_jobs 1;
+        let expect =
+          Array.init 4 (fun i ->
+              Array.init 3 (fun j ->
+                  Array.fold_left ( + ) 0
+                    (Array.init 5 (fun k -> (100 * i) + (10 * j) + k))))
+        in
+        Alcotest.(check (array (array int))) "slot-ordered sums" expect got);
+    Alcotest.test_case "nested exception surfaces in the nesting task" `Quick
+      (fun () ->
+        Pool.set_jobs 4;
+        Alcotest.check_raises "inner lowest index wins through two levels"
+          (Failure "inner-2-1") (fun () ->
+            ignore
+              (Pool.parallel_init 8 (fun i ->
+                   Array.fold_left ( + ) 0
+                     (Pool.parallel_init 6 (fun j ->
+                          if i = 2 && j >= 1 then
+                            failwith (Printf.sprintf "inner-%d-%d" i j)
+                          else j)))));
+        (* The pool survives nested failures. *)
+        let ok =
+          Pool.parallel_init 5 (fun i ->
+              Array.fold_left ( + ) 0 (Pool.parallel_init 4 (fun j -> i * j)))
+        in
+        Pool.set_jobs 1;
+        Alcotest.(check (array int)) "reusable after nested failure"
+          (Array.init 5 (fun i -> 6 * i))
+          ok);
+    Alcotest.test_case "uneven nested loads drain (stealing smoke)" `Quick
+      (fun () ->
+        (* One long task fans out a wide inner batch while the others
+           finish instantly: with stealing, idle domains help the inner
+           job; without it this still passes (the submitter drains its
+           own job), so the check is for liveness + exactness. *)
+        Pool.set_jobs 4;
+        let hits = Array.make 512 0 in
+        Pool.parallel_for 4 (fun i ->
+            if i = 0 then
+              Pool.parallel_for 512 (fun k -> hits.(k) <- hits.(k) + 1));
+        Pool.set_jobs 1;
+        Alcotest.(check (array int)) "each inner task exactly once"
+          (Array.make 512 1) hits);
     Alcotest.test_case "meter lanes merge to the sequential count" `Quick
       (fun () ->
         Pool.set_jobs 4;

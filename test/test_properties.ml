@@ -13,6 +13,23 @@ let prop ?(count = 100) name gen f =
 
 let seed_gen = QCheck2.Gen.int_range 0 1_000_000
 
+(* Parallel seed sweep for the wall-time-dominating properties: each is
+   a pure predicate of an opaque integer seed (shrinking a seed tells
+   you nothing), so instead of qcheck's sequential driver the [count]
+   seeds fan out over the domain pool.  Coverage and failure reporting
+   are unchanged; the first failing seed is named so the run can be
+   replayed with that seed through the predicate directly. *)
+let sweep ?(count = 100) name f =
+  Alcotest.test_case name `Quick (fun () ->
+      let rng = Rng.create ~seed:("sweep-" ^ name) in
+      let seeds = Array.init count (fun _ -> Rng.int_below rng 1_000_001) in
+      let ok = Ppgr_exec.Pool.parallel_map f seeds in
+      Array.iteri
+        (fun i passed ->
+          if not passed then
+            Alcotest.failf "property %S failed on seed %d" name seeds.(i))
+        ok)
+
 let with_rng seed = Rng.create ~seed:(Printf.sprintf "prop-%d" seed)
 
 let group_props (name, g) =
@@ -41,7 +58,7 @@ let elgamal_props =
   let module G = (val Ec_group.ecc_tiny ()) in
   let module E = Ppgr_elgamal.Elgamal.Make (G) in
   [
-    prop "homomorphic sum of a random list" seed_gen (fun seed ->
+    sweep "homomorphic sum of a random list" (fun seed ->
         let rng = with_rng seed in
         let x, y = E.keygen rng in
         let k = 1 + Rng.int_below rng 6 in
@@ -54,7 +71,7 @@ let elgamal_props =
             values
         in
         G.equal (E.plaintext_power x combined) (G.pow_gen (Bigint.of_int total)));
-    prop "blinding a ring of partial decryptions preserves zeroness" seed_gen
+    sweep "blinding a ring of partial decryptions preserves zeroness"
       (fun seed ->
         let rng = with_rng seed in
         let parties = List.init 3 (fun _ -> E.keygen rng) in
@@ -92,7 +109,7 @@ let gain_props =
         let v' = Array.copy v in
         v'.(k) <- c.Attrs.v0.(k);
         Attrs.gain spec c v' >= Attrs.gain spec c v);
-    prop "masked betas rank identically to partial gains" seed_gen (fun seed ->
+    sweep "masked betas rank identically to partial gains" (fun seed ->
         let rng = with_rng seed in
         let spec = Attrs.spec ~m:3 ~t:1 ~d1:5 ~d2:3 in
         let cfg = Phase1.config ~spec ~h:7 () in
@@ -153,7 +170,7 @@ let shamir_props =
   let open Ppgr_shamir in
   let f = Ppgr_dotprod.Zfield.default () in
   [
-    prop ~count:50 "linear combinations of shares reconstruct linearly" seed_gen
+    sweep ~count:50 "linear combinations of shares reconstruct linearly"
       (fun seed ->
         let rng = with_rng seed in
         let e = Engine.create rng f ~n:5 in
@@ -166,8 +183,8 @@ let shamir_props =
         in
         let opened = Ppgr_dotprod.Zfield.to_signed f (Engine.open_ e combo) in
         Bigint.to_int_exn opened = (k * a) - b);
-    prop ~count:20 "sort output of shared values is sorted and a permutation"
-      seed_gen (fun seed ->
+    sweep ~count:20 "sort output of shared values is sorted and a permutation"
+      (fun seed ->
         let rng = with_rng seed in
         let e = Engine.create rng f ~n:5 in
         let prm = Compare.default_params ~l:8 () in

@@ -61,6 +61,77 @@ let field_message_tests =
            with Wire.Malformed _ -> true));
   ]
 
+(* The framed ring-hop message: payload-agnostic blob packing, so it is
+   tested over arbitrary byte strings independent of any group. *)
+let hop_frame_tests =
+  let rejects data =
+    try
+      ignore (Wire.decode_hop_frame data);
+      false
+    with Wire.Malformed _ -> true
+  in
+  [
+    Alcotest.test_case "round trip incl. empty payloads" `Quick (fun () ->
+        let payloads =
+          Array.init 6 (fun i ->
+              Bytes.init (i * 7) (fun k -> Char.chr ((i + (k * 13)) land 0xFF)))
+        in
+        let frame = Wire.encode_hop_frame payloads in
+        Alcotest.(check int) "documented size"
+          (Wire.hop_frame_bytes
+             (Array.to_list (Array.map Bytes.length payloads)))
+          (Bytes.length frame);
+        let payloads' = Wire.decode_hop_frame frame in
+        Alcotest.(check int) "count" (Array.length payloads)
+          (Array.length payloads');
+        Array.iteri
+          (fun i p -> Alcotest.(check bytes) "payload" p payloads'.(i))
+          payloads);
+    Alcotest.test_case "zero payloads round trip" `Quick (fun () ->
+        Alcotest.(check int) "empty frame" 0
+          (Array.length (Wire.decode_hop_frame (Wire.encode_hop_frame [||]))));
+    Alcotest.test_case "wrong tag rejected" `Quick (fun () ->
+        let frame = Wire.encode_hop_frame [| Bytes.of_string "abc" |] in
+        Bytes.set frame 0 '\x12';
+        Alcotest.(check bool) "raises" true (rejects frame));
+    Alcotest.test_case "every truncation rejected" `Quick (fun () ->
+        let frame =
+          Wire.encode_hop_frame
+            [| Bytes.of_string "abcdef"; Bytes.empty; Bytes.of_string "xyz" |]
+        in
+        for cut = 0 to Bytes.length frame - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "cut at %d" cut)
+            true
+            (rejects (Bytes.sub frame 0 cut))
+        done);
+    Alcotest.test_case "trailing bytes rejected" `Quick (fun () ->
+        let frame = Wire.encode_hop_frame [| Bytes.of_string "abc" |] in
+        Alcotest.(check bool) "raises" true
+          (rejects (Bytes.cat frame (Bytes.of_string "x"))));
+    Alcotest.test_case "lying payload length rejected" `Quick (fun () ->
+        let frame = Wire.encode_hop_frame [| Bytes.of_string "abc" |] in
+        (* Bump the u32 length prefix of the only payload past the end. *)
+        Bytes.set frame 6 '\xFF';
+        Alcotest.(check bool) "raises" true (rejects frame));
+    Alcotest.test_case "cipher batches survive framing untouched" `Quick
+      (fun () ->
+        let module G = (val Ppgr_group.Ec_group.ecc_tiny ()) in
+        let module W = Wire.Make (G) in
+        let _, y = W.E.keygen rng in
+        let batches =
+          Array.init 4 (fun j ->
+              W.encode_cipher_batch
+                (Array.init (3 + j) (fun i -> W.E.encrypt_exp_int rng y (i mod 2))))
+        in
+        let unpacked = Wire.decode_hop_frame (Wire.encode_hop_frame batches) in
+        Array.iteri
+          (fun j b ->
+            Alcotest.(check bytes) "identical payload bytes" b unpacked.(j);
+            ignore (W.decode_cipher_batch unpacked.(j)))
+          batches);
+  ]
+
 let group_message_tests (name, g) =
   let module G = (val g : Ppgr_group.Group_intf.GROUP) in
   let module W = Wire.Make (G) in
@@ -108,6 +179,7 @@ let () =
   Alcotest.run "wire"
     [
       ("field-messages", field_message_tests);
+      ("hop-frame", hop_frame_tests);
       ("dl", group_message_tests ("DL", Ppgr_group.Dl_group.dl_test_64 ()));
       ("ec", group_message_tests ("EC", Ppgr_group.Ec_group.ecc_tiny ()));
       ("ecc-160", group_message_tests ("ECC-160", Ppgr_group.Ec_group.ecc_160 ()));
