@@ -1,0 +1,273 @@
+(* Chaos bench: the message-passing runtime driven through seeded
+   fault schedules on the real group sizes, written to BENCH_PR5.json.
+
+   Each scenario runs the full protocol on DL-512 and ECC-160 under a
+   Faultplan parsed from the same spec strings the CLI's --faults flag
+   accepts.  Per run the section records the recovery bill — how many
+   retransmissions, CRC rejects and duplicate suppressions the injected
+   faults cost, and the physical-over-logical byte inflation — and
+   enforces the conformance contract the chaos test suite pins:
+
+   - a completed run reports exactly the fault-free golden ranks;
+   - retransmissions = injected drops + corrupts + reorders, CRC
+     rejects = injected corrupts (completed runs deliver every logical
+     message, so every non-delivering fault is paid back exactly once);
+   - the same fault seed yields a byte-identical physical transcript at
+     jobs=1 and jobs=4.
+
+   Any violation fails the process, so the CI chaos leg doubles as a
+   cross-core determinism gate.  [smoke] is the cheap variant for CI:
+   the three smoke seeds on the test-size groups only. *)
+
+open Ppgr_bigint
+open Ppgr_grouprank
+module Faultplan = Ppgr_mpcnet.Faultplan
+module Pool = Ppgr_exec.Pool
+
+let json_path = "BENCH_PR5.json"
+
+(* Same instance shape as the chaos test suite: n = 4 with a tie. *)
+let betas = Array.map Bigint.of_int [| 9; 3; 14; 3 |]
+let l = 5
+let retry_budget = 8
+
+let golden =
+  Array.map
+    (fun b ->
+      1
+      + Array.fold_left
+          (fun acc b' -> if Bigint.compare b' b > 0 then acc + 1 else acc)
+          0 betas)
+    betas
+
+(* The three seeded mixes the CI smoke leg replays, plus a clean
+   baseline so the JSON carries the zero-fault reference bill. *)
+let scenarios =
+  [
+    ("clean-baseline", "seed=bench-clean");
+    ("drop-dup", "drop=0.15,dup=0.1,seed=bench-chaos-1");
+    ("corrupt-delay", "corrupt=0.15,delay=0.3,maxdelay=4,seed=bench-chaos-2");
+    ( "full-mix",
+      "drop=0.1,corrupt=0.1,dup=0.1,reorder=0.1,delay=0.2,maxdelay=8,\
+       seed=bench-chaos-3" );
+  ]
+
+type run = {
+  group_name : string;
+  scenario : string;
+  spec : string;
+  outcome : string; (* "completed" or "party_dropped" *)
+  wall_s : float;
+  ranks_ok : bool;
+  faults : (string * int) list;
+  retransmits : int;
+  crc_rejects : int;
+  dup_suppressed : int;
+  backoff_ticks : int;
+  bytes_logical : int;
+  bytes_physical : int;
+  messages_logical : int;
+  messages_physical : int;
+  digest : string;
+  jobs_digests_agree : bool; (* jobs=1 transcript = jobs=4 transcript *)
+}
+
+let kind_count faults k = Option.value ~default:0 (List.assoc_opt k faults)
+
+(* One scenario on one group: the protocol runs at jobs=1 and again at
+   jobs=4, and the physical transcript digests must match — an abort
+   must be the SAME abort at any parallelism.  The digest identifies
+   every byte that crossed the wire, so this equality is the strongest
+   determinism statement the runtime can make. *)
+let bench_run g (scenario, spec) : run =
+  let module G = (val g : Ppgr_group.Group_intf.GROUP) in
+  let module R = Runtime.Make (G) in
+  let run_at jobs =
+    let prev = Pool.jobs () in
+    Pool.set_jobs jobs;
+    Fun.protect ~finally:(fun () -> Pool.set_jobs prev) @@ fun () ->
+    let rng = Ppgr_rng.Rng.create ~seed:"ppgr-bench-chaos" in
+    let faults = Faultplan.spec_of_string spec in
+    match R.run ~faults ~retry_budget rng ~l ~betas with
+    | st -> Ok st
+    | exception Transport.Party_dropped f -> Error f
+  in
+  let digest_of = function
+    | Ok (st : R.stats) -> st.R.transcript_sha
+    | Error (f : Transport.forensics) -> f.Transport.fr_digest
+  in
+  let t0 = Unix.gettimeofday () in
+  let seq = run_at 1 in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let par = run_at 4 in
+  let digest = digest_of seq in
+  let same_outcome =
+    match (seq, par) with
+    | Ok _, Ok _ | Error _, Error _ -> true
+    | _ -> false
+  in
+  let jobs_digests_agree =
+    same_outcome && String.equal digest (digest_of par)
+  in
+  match seq with
+  | Ok st ->
+      {
+        group_name = G.name;
+        scenario;
+        spec;
+        outcome = "completed";
+        wall_s;
+        ranks_ok = st.R.ranks = golden;
+        faults = st.R.faults_injected;
+        retransmits = st.R.retransmits;
+        crc_rejects = st.R.crc_rejects;
+        dup_suppressed = st.R.dup_suppressed;
+        backoff_ticks = st.R.backoff_ticks;
+        bytes_logical = st.R.bytes_on_wire;
+        bytes_physical = st.R.phys_bytes;
+        messages_logical = st.R.messages;
+        messages_physical = st.R.phys_messages;
+        digest;
+        jobs_digests_agree;
+      }
+  | Error _ ->
+      {
+        group_name = G.name;
+        scenario;
+        spec;
+        outcome = "party_dropped";
+        wall_s;
+        ranks_ok = false;
+        faults = [];
+        retransmits = 0;
+        crc_rejects = 0;
+        dup_suppressed = 0;
+        backoff_ticks = 0;
+        bytes_logical = 0;
+        bytes_physical = 0;
+        messages_logical = 0;
+        messages_physical = 0;
+        digest;
+        jobs_digests_agree;
+      }
+
+(* The conformance contract; any violation fails the whole section. *)
+let check (r : run) : string list =
+  let problems = ref [] in
+  let bad fmt =
+    Printf.ksprintf (fun s -> problems := (r.scenario ^ ": " ^ s) :: !problems)
+      fmt
+  in
+  if not r.jobs_digests_agree then
+    bad "transcript digest differs between jobs=1 and jobs=4";
+  if String.length r.digest <> 64 then bad "digest is not 64 hex chars";
+  (if r.outcome = "completed" then begin
+     if not r.ranks_ok then bad "completed with wrong ranks";
+     let k = kind_count r.faults in
+     if r.retransmits <> k "drop" + k "corrupt" + k "reorder" then
+       bad "retransmits %d <> drops+corrupts+reorders %d" r.retransmits
+         (k "drop" + k "corrupt" + k "reorder");
+     if r.crc_rejects <> k "corrupt" then
+       bad "crc_rejects %d <> injected corrupts %d" r.crc_rejects (k "corrupt");
+     if r.bytes_physical < r.bytes_logical then
+       bad "physical bytes %d below logical %d" r.bytes_physical
+         r.bytes_logical;
+     if r.messages_physical < r.messages_logical - k "drop" then
+       bad "physical messages %d too low" r.messages_physical
+   end);
+  !problems
+
+let print_run r =
+  Printf.printf
+    "%-10s %-16s %-13s retx=%-3d crc=%-2d dup=%-2d bytes %d -> %d (x%.2f)  \
+     %s  %.2fs\n%!"
+    r.group_name r.scenario r.outcome r.retransmits r.crc_rejects
+    r.dup_suppressed r.bytes_logical r.bytes_physical
+    (if r.bytes_logical = 0 then 1.0
+     else float_of_int r.bytes_physical /. float_of_int r.bytes_logical)
+    (String.sub r.digest 0 12)
+    r.wall_s
+
+let emit_run oc r =
+  let out fmt = Printf.fprintf oc fmt in
+  out "    {\n";
+  out "      \"group\": %S,\n" r.group_name;
+  out "      \"scenario\": %S,\n" r.scenario;
+  out "      \"spec\": %S,\n" r.spec;
+  out "      \"outcome\": %S,\n" r.outcome;
+  out "      \"wall_s\": %.3f,\n" r.wall_s;
+  out "      \"ranks_ok\": %b,\n" r.ranks_ok;
+  out "      \"faults_injected\": {%s},\n"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) r.faults));
+  out "      \"recovery\": {\"retransmits\": %d, \"crc_rejects\": %d, \
+       \"dup_suppressed\": %d, \"backoff_ticks\": %d},\n"
+    r.retransmits r.crc_rejects r.dup_suppressed r.backoff_ticks;
+  out "      \"bytes\": {\"logical\": %d, \"physical\": %d},\n" r.bytes_logical
+    r.bytes_physical;
+  out "      \"messages\": {\"logical\": %d, \"physical\": %d},\n"
+    r.messages_logical r.messages_physical;
+  out "      \"transcript_sha256\": %S,\n" r.digest;
+  out "      \"jobs_digests_agree\": %b\n" r.jobs_digests_agree;
+  out "    }"
+
+let groups () =
+  [ Ppgr_group.Dl_group.dl_512 (); Ppgr_group.Ec_group.ecc_160 () ]
+
+let run_matrix groups =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun sc ->
+          let r = bench_run g sc in
+          print_run r;
+          r)
+        scenarios)
+    groups
+
+let run () =
+  Printf.printf "\n== Chaos (%s) ==\n%!" json_path;
+  Printf.printf
+    "runtime under seeded faults: n=%d, l=%d, retry budget %d, every \
+     scenario at jobs=1 and jobs=4\n%!"
+    (Array.length betas) l retry_budget;
+  let runs = run_matrix (groups ()) in
+  let oc = open_out json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 5,\n";
+  out "  \"description\": \"chaos: fault-injected runtime runs, recovery \
+       cost and cross-core transcript determinism\",\n";
+  out "  \"n\": %d,\n" (Array.length betas);
+  out "  \"l\": %d,\n" l;
+  out "  \"retry_budget\": %d,\n" retry_budget;
+  out "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      emit_run oc r;
+      out "%s\n" (if i = List.length runs - 1 then "" else ","))
+    runs;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  let problems = List.concat_map check runs in
+  if problems <> [] then begin
+    List.iter (Printf.printf "chaos bench: %s\n%!") problems;
+    failwith "chaos bench: conformance contract violated"
+  end
+
+(* CI smoke: the same matrix on the fast test-size groups, no JSON. *)
+let smoke () =
+  Printf.printf "\n== Chaos smoke (fault recovery + cross-core determinism) ==\n%!";
+  let groups =
+    [ Ppgr_group.Dl_group.dl_test_64 (); Ppgr_group.Ec_group.ecc_tiny () ]
+  in
+  let runs = run_matrix groups in
+  let problems = List.concat_map check runs in
+  if problems <> [] then begin
+    List.iter (Printf.printf "chaos smoke: %s\n%!") problems;
+    failwith "chaos smoke: conformance contract violated"
+  end;
+  Printf.printf "chaos smoke OK: %d runs, all transcripts job-count invariant\n%!"
+    (List.length runs)

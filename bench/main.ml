@@ -6,8 +6,9 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig3a   # a subset
    Sections: calibrate fig2 fig3a fig3b analysis ablations micro trajectory
-   scaling obs ring, plus scaling-smoke and ring-smoke (the cheap CI
-   determinism checks, not part of the default set) *)
+   scaling obs ring chaos, plus scaling-smoke, ring-smoke and
+   chaos-smoke (the cheap CI determinism checks, not part of the
+   default set) *)
 
 let sections_requested =
   match Array.to_list Sys.argv with
@@ -15,7 +16,7 @@ let sections_requested =
   | _ ->
       [
         "calibrate"; "fig2"; "fig3a"; "fig3b"; "analysis"; "ablations"; "micro";
-        "trajectory"; "scaling"; "obs"; "ring";
+        "trajectory"; "scaling"; "obs"; "ring"; "chaos";
       ]
 
 let want s = List.mem s sections_requested
@@ -53,6 +54,8 @@ let () =
   if want "scaling" then Scaling.run ();
   if want "obs" then Obs.run ();
   if want "ring" then Ring.run ();
+  if want "chaos" then Chaos.run ();
   if want "scaling-smoke" then Scaling.smoke ();
   if want "ring-smoke" then Ring.smoke ();
+  if want "chaos-smoke" then Chaos.smoke ();
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -16,6 +16,7 @@ open Cmdliner
 open Ppgr_grouprank
 
 let group_of_name = function
+  | "dl-512" -> Ppgr_group.Dl_group.dl_512 ()
   | "dl-1024" -> Ppgr_group.Dl_group.dl_1024 ()
   | "dl-2048" -> Ppgr_group.Dl_group.dl_2048 ()
   | "dl-3072" -> Ppgr_group.Dl_group.dl_3072 ()
@@ -29,8 +30,8 @@ let group_of_name = function
 
 let group_arg =
   let doc =
-    "Group instantiation: dl-1024, dl-2048, dl-3072, dl-test, ecc-160, \
-     ecc-192, ecc-224, ecc-256, ecc-tiny."
+    "Group instantiation: dl-512, dl-1024, dl-2048, dl-3072, dl-test, \
+     ecc-160, ecc-192, ecc-224, ecc-256, ecc-tiny."
   in
   Arg.(value & opt string "ecc-tiny" & info [ "group"; "g" ] ~docv:"GROUP" ~doc)
 
@@ -76,6 +77,17 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let faults_arg =
+  let doc =
+    "After the ranking, replay the distributed (bytes-only) runtime under \
+     a seeded fault schedule, e.g. \
+     $(b,drop=0.1,corrupt=0.05,dup=0.05,reorder=0.05,delay=0.1,maxdelay=4,seed=chaos). \
+     Prints the recovery report (retransmissions, CRC rejects, suppressed \
+     duplicates, simulated backoff) and the physical transcript digest; \
+     exits with status 3 on a typed Party_dropped abort."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel hot loops (0 = all recommended \
@@ -95,7 +107,59 @@ let parse_spec s =
         ~d1:(int_of_string d1) ~d2:(int_of_string d2)
   | _ -> failwith "spec must be m,t,d1,d2"
 
-let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics =
+(* The chaos leg of [run]: the same participants' gains pushed through
+   the message-passing runtime with a fault plan on every link.  The
+   contract (test/test_chaos.ml): correct ranks or a typed abort with
+   forensics — never a hang, never a silently wrong ranking. *)
+let run_faults group spec criterion infos ~seed fspec =
+  let module G = (val group : Ppgr_group.Group_intf.GROUP) in
+  let module RT = Runtime.Make (G) in
+  let open Ppgr_bigint in
+  let gains = Array.map (Attrs.gain spec criterion) infos in
+  (* Gains may be negative; ranking is invariant under a common shift,
+     and phase 2 wants non-negative l-bit betas. *)
+  let lo = Array.fold_left Stdlib.min 0 gains in
+  let betas = Array.map (fun g -> Bigint.of_int (g - lo)) gains in
+  let l =
+    Array.fold_left (fun a b -> Stdlib.max a (Bigint.numbits b)) 1 betas
+  in
+  let fspec = Ppgr_mpcnet.Faultplan.spec_of_string fspec in
+  Printf.printf "\nfault schedule: %s\n"
+    (Ppgr_mpcnet.Faultplan.spec_to_string fspec);
+  let rng = Ppgr_rng.Rng.create ~seed:(seed ^ "-faults") in
+  match RT.run ~faults:fspec rng ~l ~betas with
+  | st ->
+      let injected =
+        String.concat ", "
+          (List.filter_map
+             (fun (k, c) -> if c = 0 then None else Some (Printf.sprintf "%s %d" k c))
+             st.RT.faults_injected)
+      in
+      Printf.printf "runtime survived: ranks %s\n"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int st.RT.ranks)));
+      Printf.printf "  injected:          %s\n"
+        (if injected = "" then "nothing" else injected);
+      Printf.printf "  retransmissions:   %d\n" st.RT.retransmits;
+      Printf.printf "  CRC rejects:       %d\n" st.RT.crc_rejects;
+      Printf.printf "  dups suppressed:   %d\n" st.RT.dup_suppressed;
+      Printf.printf "  backoff ticks:     %d\n" st.RT.backoff_ticks;
+      Printf.printf "  bytes (logical):   %d in %d messages\n" st.RT.bytes_on_wire
+        st.RT.messages;
+      Printf.printf "  bytes (physical):  %d in %d transmissions\n" st.RT.phys_bytes
+        st.RT.phys_messages;
+      Printf.printf "  transcript sha256: %s\n" st.RT.transcript_sha
+  | exception Transport.Party_dropped f ->
+      Printf.printf "runtime aborted: Party_dropped\n";
+      Printf.printf "  step:      %s\n" f.Transport.fr_step;
+      Printf.printf "  link:      P%d -> P%d (seq %d)\n" (f.Transport.fr_src + 1)
+        (f.Transport.fr_dst + 1) f.Transport.fr_seq;
+      Printf.printf "  attempts:  %d (%s)\n" f.Transport.fr_attempts
+        (String.concat "," f.Transport.fr_events);
+      Printf.printf "  digest at abort: %s\n" f.Transport.fr_digest;
+      exit 3
+
+let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults =
   apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
   let spec = parse_spec spec_s in
@@ -199,7 +263,10 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics =
     if sum_exps <> glob_exps || sum_mults <> glob_mults || sum_bytes <> glob_bytes
     then failwith "metrics consistency check failed"
   end;
-  Printf.printf "\nwall clock: %.3f s\n" dt
+  Printf.printf "\nwall clock: %.3f s\n" dt;
+  match faults with
+  | None -> ()
+  | Some fspec -> run_faults group spec criterion infos ~seed fspec
 
 let simulate_cmd group_name n k seed nodes edges jobs metrics =
   apply_jobs jobs;
@@ -258,7 +325,8 @@ let inspect_cmd group_name =
 let run_term =
   Term.(
     const run_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ spec_arg $ h_arg
-    $ verbose_arg $ jobs_arg $ trace_arg $ jsonl_arg $ metrics_arg)
+    $ verbose_arg $ jobs_arg $ trace_arg $ jsonl_arg $ metrics_arg
+    $ faults_arg)
 
 let nodes_arg =
   Arg.(value & opt int 80 & info [ "nodes" ] ~docv:"V" ~doc:"Topology nodes.")

@@ -240,6 +240,7 @@ let of_safe_prime ~name ~security_bits p : Group_intf.group =
        non-identity residue generates the whole order-q subgroup. *)
   end))
 
+let dl_512 () = of_safe_prime ~name:"DL-512" ~security_bits:56 Modp_params.p_512
 let dl_1024 () = of_safe_prime ~name:"DL-1024" ~security_bits:80 Modp_params.p_1024
 let dl_2048 () = of_safe_prime ~name:"DL-2048" ~security_bits:112 Modp_params.p_2048
 

@@ -259,6 +259,19 @@ let make_powtable cv ?(window = Group_intf.fixed_base_window) pt ~bits =
       for d = 1 lsl k to hi do
         row.(d) <- add cv row.(d - 1) row.(0)
       done);
+  (* Normalize the finished table to affine (z = 1) with ONE shared
+     Montgomery inversion for all [nwin * (2^w - 1)] entries.  Same
+     group elements, cheaper life: every table-backed addition starts
+     from z = 1 operands and the entries serialize without any further
+     inversion.  (Runs after the parallel fill, sequentially, so the
+     table bytes stay independent of the job count.) *)
+  let flat = Array.concat (Array.to_list tbl) in
+  Array.iteri
+    (fun k aff ->
+      match aff with
+      | None -> ()
+      | Some (ax, ay) -> tbl.(k / size).(k mod size) <- of_affine cv ax ay)
+    (to_affine_batch cv flat);
   { pw = window; ptbl = tbl }
 
 let scalar_mul_table cv t e =

@@ -78,7 +78,14 @@ end) : Group_intf.GROUP = struct
     if Bytes.length b <> element_bytes then None
     else begin
       match Bytes.get b 0 with
-      | '\000' -> Some identity
+      | '\000' ->
+          (* Strict: the identity has exactly one encoding (all zero).
+             Accepting garbage after the tag would make the map
+             bytes -> element non-injective on valid inputs. *)
+          let rec all_zero i =
+            i >= element_bytes || (Bytes.get b i = '\000' && all_zero (i + 1))
+          in
+          if all_zero 1 then Some identity else None
       | '\004' ->
           let ax = Bigint.of_bytes_be (Bytes.sub b 1 fbytes) in
           let ay = Bigint.of_bytes_be (Bytes.sub b (1 + fbytes) fbytes) in

@@ -242,15 +242,36 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
 
   type stats = {
     ranks : int array;
-    bytes_on_wire : int; (* every serialized message, summed *)
-    messages : int;
-    party_sent : int array; (* bytes out, per party *)
-    party_received : int array; (* bytes in, per party *)
+    bytes_on_wire : int; (* every serialized payload, summed (logical) *)
+    messages : int; (* logical sends: retransmissions not counted *)
+    party_sent : int array; (* payload bytes out, per party *)
+    party_received : int array; (* payload bytes in, per party *)
+    (* Physical level, owned by {!Transport}: envelope overhead and
+       every retransmission included. *)
+    phys_bytes : int;
+    phys_messages : int;
+    phys_party_sent : int array;
+    phys_party_received : int array;
+    retransmits : int;
+    drops : int;
+    crc_rejects : int;
+    dup_suppressed : int;
+    backoff_ticks : int;
+    faults_injected : (string * int) list; (* by kind, fixed order *)
+    transcript_sha : string; (* chained digest of all physical bytes *)
+    net_rounds : Ppgr_mpcnet.Netsim.schedule;
+        (* physical traffic per protocol step, replayable on a topology *)
   }
 
-  (** Drive a full distributed execution with immediate in-order
-      delivery.  All inter-party state passes through bytes. *)
-  let run rng ~l ~(betas : Bigint.t array) : stats =
+  (** Drive a full distributed execution.  All inter-party state passes
+      through bytes, every byte through {!Transport}: sequenced,
+      CRC-protected envelopes with timeout/retransmit recovery.  Without
+      [faults] every attempt delivers; with a {!Faultplan.spec} the run
+      faces that seeded schedule and either completes with correct ranks
+      or aborts with the typed {!Transport.Party_dropped}.
+      @raise Transport.Party_dropped when a message exhausts
+      [retry_budget] retransmissions. *)
+  let run ?faults ?(retry_budget = 8) rng ~l ~(betas : Bigint.t array) : stats =
     let n = Array.length betas in
     if n < 2 then invalid_arg "Runtime.run: need at least 2 parties";
     Trace.with_span
@@ -258,27 +279,36 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         [ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
       "runtime"
     @@ fun () ->
+    let plan = Option.map Ppgr_mpcnet.Faultplan.create faults in
+    let tr = Transport.create ?faults:plan ~retry_budget ~n () in
     let bytes_total = ref 0 in
     let msg_total = ref 0 in
     let sent = Array.make n 0 in
     let received = Array.make n 0 in
     (* [send] is the only channel between parties; it tallies every
-       serialized message globally and per endpoint. *)
+       serialized payload globally and per endpoint (the logical view),
+       then hands the bytes to the transport, which owns delivery,
+       recovery and the physical accounting. *)
     let send ~src ~dst (b : Bytes.t) =
       let len = Bytes.length b in
       bytes_total := !bytes_total + len;
       incr msg_total;
       sent.(src) <- sent.(src) + len;
       received.(dst) <- received.(dst) + len;
-      Bytes.copy b
+      Transport.send tr ~src ~dst b
     in
     (* One instant wire span per party per protocol step, carrying the
-       in/out byte deltas of that step. *)
+       in/out byte deltas of that step at both accounting levels.  Also
+       the transport's step boundary, so its physical rounds mirror the
+       protocol steps. *)
     let wire_mark step f =
+      Transport.begin_step tr step;
       if not (Trace.enabled ()) then f ()
       else begin
         let s0 = Array.copy sent and r0 = Array.copy received in
+        let ps0 = Transport.phys_sent tr and pr0 = Transport.phys_received tr in
         let r = f () in
+        let ps1 = Transport.phys_sent tr and pr1 = Transport.phys_received tr in
         for j = 0 to n - 1 do
           let out = sent.(j) - s0.(j) and inb = received.(j) - r0.(j) in
           if out > 0 || inb > 0 then
@@ -288,6 +318,8 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
                   ("party", Trace.Int j);
                   ("bytes_out", Trace.Int out);
                   ("bytes_in", Trace.Int inb);
+                  ("phys_out", Trace.Int (ps1.(j) - ps0.(j)));
+                  ("phys_in", Trace.Int (pr1.(j) - pr0.(j)));
                 ]
               ("runtime." ^ step ^ ".wire")
         done;
@@ -377,11 +409,28 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         (fun j p -> party_span "count" j (fun () -> finish p ~own_set:!v.(j)))
         parties
     in
+    Transport.drain tr;
+    let st = Transport.stats tr in
     {
       ranks;
       bytes_on_wire = !bytes_total;
       messages = !msg_total;
       party_sent = sent;
       party_received = received;
+      phys_bytes = st.Transport.phys_bytes;
+      phys_messages = st.Transport.phys_messages;
+      phys_party_sent = Transport.phys_sent tr;
+      phys_party_received = Transport.phys_received tr;
+      retransmits = st.Transport.retransmits;
+      drops = st.Transport.drops;
+      crc_rejects = st.Transport.crc_rejects;
+      dup_suppressed = st.Transport.dup_suppressed;
+      backoff_ticks = st.Transport.backoff_ticks;
+      faults_injected =
+        (match plan with
+        | None -> List.map (fun k -> (k, 0)) Ppgr_mpcnet.Faultplan.kinds
+        | Some p -> Ppgr_mpcnet.Faultplan.injected p);
+      transcript_sha = Transport.transcript_sha tr;
+      net_rounds = Transport.net_rounds tr;
     }
 end

@@ -1,0 +1,354 @@
+(** Reliable delivery over a lossy link layer, between {!Runtime}'s
+    parties and {!Ppgr_mpcnet.Faultplan}'s fault schedule.
+
+    The fault-free driver delivered every message immediately and in
+    order.  This transport keeps the same synchronous interface — a
+    {!send} returns the payload exactly as the receiver accepted it —
+    but earns it: every payload travels in a {!Wire.tag_envelope}
+    envelope carrying a per-directed-link sequence number and a CRC-32,
+    and each delivery attempt is submitted to the fault plan, which may
+    drop it, flip a byte, duplicate it, hold it for reordering, or
+    delay it.  Recovery is timeout/retransmit with capped exponential
+    backoff (accounted in simulated ticks — the driver never sleeps),
+    duplicate and stale arrivals are suppressed by sequence number, and
+    a sender that exhausts its retry budget raises the typed
+    {!Party_dropped} abort carrying forensics instead of hanging.
+
+    Accounting is two-level: {e logical} (one message per [send], the
+    payload's bytes — the protocol-analysis view the rest of the repo
+    reports) stays with the caller; this module owns the {e physical}
+    level — every attempt that touches the wire, envelope overhead and
+    retransmissions included, tallied per party, per directed link (as
+    a {!Ppgr_mpcnet.Netsim.schedule} round per protocol step), and
+    folded into a running transcript digest.
+
+    Determinism: the fault schedule is keyed by (link, attempt), the
+    protocol bytes are identical at any job count, and this driver runs
+    message-at-a-time, so the physical transcript — and hence the
+    digest — is byte-identical at [jobs=1] and [jobs=k]. *)
+
+open Ppgr_mpcnet
+module Trace = Ppgr_obs.Trace
+module Sha256 = Ppgr_hash.Sha256
+
+type forensics = {
+  fr_step : string; (* protocol step being delivered *)
+  fr_src : int;
+  fr_dst : int;
+  fr_seq : int; (* sequence number of the undeliverable message *)
+  fr_attempts : int; (* attempts spent, budget included *)
+  fr_events : string list; (* per-attempt fault outcomes, oldest first *)
+  fr_recent : string list; (* cross-link event tail, oldest first *)
+  fr_digest : string; (* transcript digest at abort time (hex) *)
+}
+
+exception Party_dropped of forensics
+
+let () =
+  Printexc.register_printer (function
+    | Party_dropped f ->
+        Some
+          (Printf.sprintf
+             "Party_dropped { step=%s; link=%d->%d; seq=%d; attempts=%d; \
+              last=%s }"
+             f.fr_step f.fr_src f.fr_dst f.fr_seq f.fr_attempts
+             (match List.rev f.fr_events with e :: _ -> e | [] -> "-"))
+    | _ -> None)
+
+type stats = {
+  mutable retransmits : int; (* attempts beyond the first, per message *)
+  mutable drops : int; (* attempts the plan vanished *)
+  mutable crc_rejects : int; (* corrupted arrivals the receiver refused *)
+  mutable dup_suppressed : int; (* duplicate/stale arrivals discarded *)
+  mutable reorders : int; (* envelopes held in limbo at least once *)
+  mutable delays : int; (* attempts that arrived late *)
+  mutable backoff_ticks : int; (* simulated retransmit-timer ticks *)
+  mutable phys_messages : int; (* everything that touched the wire *)
+  mutable phys_bytes : int;
+}
+
+type t = {
+  n : int;
+  faults : Faultplan.t option;
+  retry_budget : int; (* retransmissions allowed per message *)
+  backoff_base : int;
+  backoff_cap : int;
+  send_seq : int array array; (* next seq to assign, per (src, dst) *)
+  recv_seq : int array array; (* next seq expected, per (src, dst) *)
+  limbo : (int, Bytes.t list) Hashtbl.t; (* held (reordered) envelopes *)
+  st : stats;
+  phys_sent : int array; (* physical bytes out, per party *)
+  phys_received : int array;
+  mutable step : string;
+  mutable round_rev : Netsim.message list; (* current step's attempts *)
+  mutable rounds_rev : (string * Netsim.message list) list;
+  mutable recent_rev : string list; (* rolling cross-link event log *)
+  mutable recent_len : int;
+  mutable digest : Bytes.t; (* chained transcript digest *)
+}
+
+let recent_cap = 32
+
+let create ?faults ?(retry_budget = 8) ?(backoff_base = 1)
+    ?(backoff_cap = 64) ~n () =
+  {
+    n;
+    faults;
+    retry_budget;
+    backoff_base;
+    backoff_cap;
+    send_seq = Array.make_matrix n n 0;
+    recv_seq = Array.make_matrix n n 0;
+    limbo = Hashtbl.create 7;
+    st =
+      {
+        retransmits = 0;
+        drops = 0;
+        crc_rejects = 0;
+        dup_suppressed = 0;
+        reorders = 0;
+        delays = 0;
+        backoff_ticks = 0;
+        phys_messages = 0;
+        phys_bytes = 0;
+      };
+    phys_sent = Array.make n 0;
+    phys_received = Array.make n 0;
+    step = "init";
+    round_rev = [];
+    rounds_rev = [];
+    recent_rev = [];
+    recent_len = 0;
+    digest = Sha256.digest_string "ppgr-transcript-v1";
+  }
+
+let stats t = t.st
+let phys_sent t = Array.copy t.phys_sent
+let phys_received t = Array.copy t.phys_received
+let transcript_sha t = Sha256.hex_of_digest t.digest
+
+(** Close the current step's physical round.  Called by the runtime at
+    every protocol-step boundary so the schedule mirrors the lockstep
+    rounds, retransmissions included. *)
+let begin_step t step =
+  if t.round_rev <> [] then
+    t.rounds_rev <- (t.step, List.rev t.round_rev) :: t.rounds_rev;
+  t.round_rev <- [];
+  t.step <- step
+
+(** The physical message log as a {!Netsim.schedule}: one round per
+    protocol step (compute time is not this layer's concern). *)
+let net_rounds t =
+  let closed = if t.round_rev = [] then [] else [ (t.step, List.rev t.round_rev) ] in
+  List.rev_map
+    (fun (_, msgs) -> { Netsim.compute_s = 0.; messages = msgs })
+    (closed @ t.rounds_rev)
+
+let note t ev =
+  t.recent_rev <- ev :: t.recent_rev;
+  t.recent_len <- t.recent_len + 1;
+  if t.recent_len > 2 * recent_cap then begin
+    (* Amortized trim: keep the newest [recent_cap]. *)
+    let rec take k = function
+      | x :: tl when k > 0 -> x :: take (k - 1) tl
+      | _ -> []
+    in
+    t.recent_rev <- take recent_cap t.recent_rev;
+    t.recent_len <- recent_cap
+  end
+
+(* Every wire touch: per-party and per-link physical tallies plus the
+   chained transcript digest (corrupted copies hash as transmitted, so
+   the digest pins the exact fault schedule too). *)
+let transmit t ~src ~dst (wire_bytes : Bytes.t) =
+  let len = Bytes.length wire_bytes in
+  t.st.phys_messages <- t.st.phys_messages + 1;
+  t.st.phys_bytes <- t.st.phys_bytes + len;
+  t.phys_sent.(src) <- t.phys_sent.(src) + len;
+  t.phys_received.(dst) <- t.phys_received.(dst) + len;
+  t.round_rev <- { Netsim.src; dst; bytes = len } :: t.round_rev;
+  let ctx = Sha256.init () in
+  Sha256.feed_bytes ctx t.digest;
+  Sha256.feed_bytes ctx wire_bytes;
+  t.digest <- Sha256.finalize ctx
+
+(* Receiver logic: validate the envelope, suppress stale sequence
+   numbers.  Returns the accepted payload, or None when the arrival was
+   discarded (corrupt or duplicate). *)
+let receive t ~src ~dst (wire_bytes : Bytes.t) =
+  match Wire.decode_envelope wire_bytes with
+  | exception Wire.Malformed _ ->
+      t.st.crc_rejects <- t.st.crc_rejects + 1;
+      None
+  | env ->
+      if env.Wire.env_src <> src || env.Wire.env_dst <> dst then begin
+        (* A CRC-valid envelope on the wrong link: misrouted; refuse. *)
+        t.st.crc_rejects <- t.st.crc_rejects + 1;
+        None
+      end
+      else if env.Wire.env_seq < t.recv_seq.(src).(dst) then begin
+        t.st.dup_suppressed <- t.st.dup_suppressed + 1;
+        None
+      end
+      else if env.Wire.env_seq > t.recv_seq.(src).(dst) then
+        (* Unreachable with a per-link-sequential sender; a real async
+           receiver would buffer.  Refuse loudly rather than mis-order. *)
+        raise
+          (Wire.Malformed
+             (Printf.sprintf "future sequence %d on link %d->%d (expected %d)"
+                env.Wire.env_seq src dst
+                t.recv_seq.(src).(dst)))
+      else begin
+        t.recv_seq.(src).(dst) <- env.Wire.env_seq + 1;
+        Some env.Wire.env_payload
+      end
+
+let link_key ~src ~dst n = (src * n) + dst
+
+(* Stale copies held for reordering arrive once something else makes it
+   through the link; sequence numbers mark them as duplicates. *)
+let flush_limbo t ~src ~dst =
+  let k = link_key ~src ~dst t.n in
+  match Hashtbl.find_opt t.limbo k with
+  | None | Some [] -> ()
+  | Some held ->
+      Hashtbl.remove t.limbo k;
+      List.iter
+        (fun env ->
+          transmit t ~src ~dst env;
+          match receive t ~src ~dst env with
+          | None -> ()
+          | Some _ ->
+              (* Cannot happen: the held seq was already accepted via a
+                 retransmission before anything newer went through. *)
+              assert false)
+        (List.rev held)
+
+let retry_span t ~kind ~src ~dst ~seq ~attempt =
+  if Trace.enabled () then
+    Trace.instant
+      ~attrs:
+        [
+          ("party", Trace.Int src);
+          ("src", Trace.Int src);
+          ("dst", Trace.Int dst);
+          ("seq", Trace.Int seq);
+          ("fault", Trace.Str kind);
+          ("retries", Trace.Int 1);
+        ]
+      "runtime.retry";
+  note t (Printf.sprintf "%s[%d->%d#%d@%d]" kind src dst seq attempt)
+
+(** Deliver [payload] from [src] to [dst], reliably.  Returns the bytes
+    the receiver accepted (a fresh copy).
+    @raise Party_dropped when the retry budget is exhausted. *)
+let send t ~src ~dst (payload : Bytes.t) =
+  let seq = t.send_seq.(src).(dst) in
+  t.send_seq.(src).(dst) <- seq + 1;
+  let env = Wire.encode_envelope ~src ~dst ~seq payload in
+  let events = ref [] in
+  let result = ref None in
+  let attempt = ref 0 in
+  while !result = None do
+    if !attempt > t.retry_budget then begin
+      let f =
+        {
+          fr_step = t.step;
+          fr_src = src;
+          fr_dst = dst;
+          fr_seq = seq;
+          fr_attempts = !attempt;
+          fr_events = List.rev !events;
+          fr_recent = List.rev t.recent_rev;
+          fr_digest = transcript_sha t;
+        }
+      in
+      if Trace.enabled () then
+        Trace.instant
+          ~attrs:
+            [
+              ("party", Trace.Int src);
+              ("src", Trace.Int src);
+              ("dst", Trace.Int dst);
+              ("seq", Trace.Int seq);
+              ("attempts", Trace.Int !attempt);
+              ("step", Trace.Str t.step);
+            ]
+          "runtime.party_dropped";
+      raise (Party_dropped f)
+    end;
+    if !attempt > 0 then begin
+      t.st.retransmits <- t.st.retransmits + 1;
+      (* Capped exponential backoff before a retransmission, accounted
+         in simulated timer ticks. *)
+      t.st.backoff_ticks <-
+        t.st.backoff_ticks
+        + Stdlib.min t.backoff_cap (t.backoff_base lsl Stdlib.min 20 (!attempt - 1))
+    end;
+    let fault =
+      match t.faults with None -> Faultplan.Deliver | Some p -> Faultplan.next p ~src ~dst
+    in
+    let record kind = retry_span t ~kind ~src ~dst ~seq ~attempt:!attempt in
+    let deliver wire =
+      transmit t ~src ~dst wire;
+      match receive t ~src ~dst wire with
+      | Some p ->
+          result := Some p;
+          flush_limbo t ~src ~dst
+      | None -> ()
+    in
+    (match fault with
+    | Faultplan.Deliver -> deliver env
+    | Faultplan.Drop ->
+        t.st.drops <- t.st.drops + 1;
+        record "drop";
+        events := "drop" :: !events
+    | Faultplan.Corrupt c ->
+        (* The damaged copy occupies the wire; the receiver's CRC check
+           turns it into a drop the sender times out on. *)
+        deliver (Faultplan.apply_corruption c env);
+        record "corrupt";
+        events := "corrupt" :: !events
+    | Faultplan.Duplicate ->
+        deliver env;
+        (* The second copy arrives stale and is suppressed. *)
+        transmit t ~src ~dst env;
+        (match receive t ~src ~dst env with Some _ -> assert false | None -> ());
+        record "duplicate";
+        events := "duplicate" :: !events
+    | Faultplan.Reorder ->
+        (* Held in link limbo: it will arrive after a later delivery on
+           this link and be suppressed as stale.  For the sender this
+           attempt is a timeout. *)
+        t.st.reorders <- t.st.reorders + 1;
+        let k = link_key ~src ~dst t.n in
+        let held = Option.value ~default:[] (Hashtbl.find_opt t.limbo k) in
+        Hashtbl.replace t.limbo k (env :: held);
+        record "reorder";
+        events := "reorder" :: !events
+    | Faultplan.Delay d ->
+        (* Arrives, late: the link clock advances but no retransmission
+           is provoked (the timer is generous against jitter). *)
+        t.st.delays <- t.st.delays + 1;
+        t.st.backoff_ticks <- t.st.backoff_ticks + d;
+        record "delay";
+        events := Printf.sprintf "delay:%d" d :: !events;
+        deliver env);
+    incr attempt
+  done;
+  match !result with Some p -> Bytes.copy p | None -> assert false
+
+(** Orphaned limbo entries at end of run (a reorder whose link never
+    carried traffic again): deliver and suppress them so the physical
+    log is complete. *)
+let drain t =
+  Hashtbl.iter
+    (fun k held ->
+      let src = k / t.n and dst = k mod t.n in
+      List.iter
+        (fun env ->
+          transmit t ~src ~dst env;
+          ignore (receive t ~src ~dst env))
+        (List.rev held))
+    t.limbo;
+  Hashtbl.reset t.limbo

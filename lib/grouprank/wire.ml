@@ -106,7 +106,92 @@ let tag_pubkey = 0x10
 let tag_zkp = 0x11
 let tag_cipher_batch = 0x12
 let tag_hop_frame = 0x13
+let tag_envelope = 0x14
 let tag_submission = 0x20
+
+(** {1 CRC-32}
+
+    IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320), the checksum
+    of the {!tag_envelope} transport envelope.  Pure integer table
+    lookup; result in [0, 2^32). *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len (data : Bytes.t) =
+  let len = match len with Some l -> l | None -> Bytes.length data - pos in
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := tbl.((!c lxor Char.code (Bytes.get data i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(** {1 Transport envelope}
+
+    Every runtime message travels inside an envelope: a sequence number
+    scoped to its directed link (duplicate suppression and reorder
+    detection) and a CRC-32 over everything before it (corruption
+    detection — decoding is validating, so a damaged envelope is a
+    typed {!Malformed}, never a mis-decode).
+
+    Layout: [tag(1) | src u16 | dst u16 | seq u32 | payload blob | crc u32]. *)
+
+type envelope = {
+  env_src : int;
+  env_dst : int;
+  env_seq : int;
+  env_payload : Bytes.t;
+}
+
+let encode_envelope ~src ~dst ~seq (payload : Bytes.t) =
+  let b = W.create () in
+  W.u8 b tag_envelope;
+  W.u16 b src;
+  W.u16 b dst;
+  W.u32 b seq;
+  W.blob b payload;
+  let body = W.contents b in
+  let out = Bytes.create (Bytes.length body + 4) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  let crc = crc32 body in
+  Bytes.set out (Bytes.length body) (Char.chr ((crc lsr 24) land 0xFF));
+  Bytes.set out (Bytes.length body + 1) (Char.chr ((crc lsr 16) land 0xFF));
+  Bytes.set out (Bytes.length body + 2) (Char.chr ((crc lsr 8) land 0xFF));
+  Bytes.set out (Bytes.length body + 3) (Char.chr (crc land 0xFF));
+  out
+
+let decode_envelope data =
+  let total = Bytes.length data in
+  if total < 18 then fail "envelope shorter than its fixed fields";
+  (* Check the CRC before trusting any length field: a corrupted length
+     prefix must not steer the parse. *)
+  let stored =
+    let g i = Char.code (Bytes.get data (total - 4 + i)) in
+    (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3
+  in
+  if crc32 ~pos:0 ~len:(total - 4) data <> stored then
+    fail "envelope CRC mismatch";
+  let r = R.of_bytes (Bytes.sub data 0 (total - 4)) in
+  if R.u8 r <> tag_envelope then fail "bad tag for envelope";
+  let env_src = R.u16 r in
+  let env_dst = R.u16 r in
+  let env_seq = R.u32 r in
+  let env_payload = R.blob r in
+  R.expect_end r;
+  { env_src; env_dst; env_seq; env_payload }
+
+(** Serialized envelope size for a payload of the given size: fixed
+    fields (tag, src, dst, seq, payload length prefix, CRC) + payload. *)
+let envelope_overhead = 1 + 2 + 2 + 4 + 4 + 4
+
+let envelope_bytes payload_size = envelope_overhead + payload_size
 
 (** {1 Hop frames}
 
@@ -128,7 +213,23 @@ let decode_hop_frame data =
   let r = R.of_bytes data in
   if R.u8 r <> tag_hop_frame then fail "bad tag for hop frame";
   let n = R.u16 r in
-  let payloads = Array.init n (fun _ -> R.blob r) in
+  (* Fuzzer-surfaced edge cases: a zero-count frame is meaningless on
+     the ring (every hop carries n >= 2 sets) and would make a
+     corrupted count field silently decode to an empty vector; and each
+     payload length must be re-checked against the remaining buffer
+     here so a lying u32 fails as a typed error before any allocation
+     is sized from it. *)
+  if n = 0 then fail "hop frame with zero payloads";
+  let payloads =
+    Array.init n (fun _ ->
+        let len = R.u32 r in
+        if len > Bytes.length r.R.data - r.R.pos then
+          fail "hop frame payload length %d exceeds remaining %d bytes" len
+            (Bytes.length r.R.data - r.R.pos);
+        let b = Bytes.sub r.R.data r.R.pos len in
+        r.R.pos <- r.R.pos + len;
+        b)
+  in
   R.expect_end r;
   payloads
 
@@ -284,6 +385,12 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     let r = R.of_bytes data in
     if R.u8 r <> tag_cipher_batch then fail "bad tag for cipher batch";
     let n = R.u32 r in
+    (* The count sizes an allocation, so bound it by the bytes actually
+       present before building the array: a corrupted u32 must be a
+       typed decode error, not a multi-gigabyte Array.init. *)
+    if n * 2 * G.element_bytes <> Bytes.length r.R.data - r.R.pos then
+      fail "cipher batch count %d inconsistent with %d payload bytes" n
+        (Bytes.length r.R.data - r.R.pos);
     let cs = Array.init n (fun _ -> decode_cipher r) in
     R.expect_end r;
     cs

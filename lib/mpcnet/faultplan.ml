@@ -1,0 +1,149 @@
+(** Seeded deterministic fault schedules; see the interface for the
+    determinism contract. *)
+
+open Ppgr_rng
+
+type spec = {
+  f_drop : float;
+  f_corrupt : float;
+  f_duplicate : float;
+  f_reorder : float;
+  f_delay : float;
+  f_max_delay : int;
+  f_seed : string;
+}
+
+let clean =
+  {
+    f_drop = 0.;
+    f_corrupt = 0.;
+    f_duplicate = 0.;
+    f_reorder = 0.;
+    f_delay = 0.;
+    f_max_delay = 1;
+    f_seed = "clean";
+  }
+
+let spec_of_string s =
+  let parse_rate k v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. && f <= 1. -> f
+    | _ -> invalid_arg (Printf.sprintf "Faultplan: bad rate %s=%s" k v)
+  in
+  List.fold_left
+    (fun spec kv ->
+      match String.index_opt kv '=' with
+      | None -> invalid_arg (Printf.sprintf "Faultplan: expected key=value, got %S" kv)
+      | Some i -> (
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          match k with
+          | "drop" -> { spec with f_drop = parse_rate k v }
+          | "corrupt" -> { spec with f_corrupt = parse_rate k v }
+          | "dup" | "duplicate" -> { spec with f_duplicate = parse_rate k v }
+          | "reorder" -> { spec with f_reorder = parse_rate k v }
+          | "delay" -> { spec with f_delay = parse_rate k v }
+          | "maxdelay" -> (
+              match int_of_string_opt v with
+              | Some d when d >= 1 -> { spec with f_max_delay = d }
+              | _ -> invalid_arg (Printf.sprintf "Faultplan: bad maxdelay=%s" v))
+          | "seed" -> { spec with f_seed = v }
+          | _ -> invalid_arg (Printf.sprintf "Faultplan: unknown key %S" k)))
+    clean
+    (List.filter (fun s -> s <> "") (String.split_on_char ',' s))
+
+let spec_to_string s =
+  Printf.sprintf
+    "drop=%g,corrupt=%g,dup=%g,reorder=%g,delay=%g,maxdelay=%d,seed=%s" s.f_drop
+    s.f_corrupt s.f_duplicate s.f_reorder s.f_delay s.f_max_delay s.f_seed
+
+type corruption = { cor_offset : int; cor_mask : int }
+
+type fault =
+  | Deliver
+  | Drop
+  | Corrupt of corruption
+  | Duplicate
+  | Reorder
+  | Delay of int
+
+type t = {
+  sp : spec;
+  root : Rng.t; (* only ever split from, never consumed *)
+  attempts : (int * int, int ref) Hashtbl.t; (* per-link attempt counter *)
+  tallies : int array; (* drop, corrupt, duplicate, reorder, delay *)
+}
+
+let create sp =
+  {
+    sp;
+    root = Rng.create ~seed:("ppgr-faultplan:" ^ sp.f_seed);
+    attempts = Hashtbl.create 31;
+    tallies = Array.make 5 0;
+  }
+
+let spec t = t.sp
+
+(* One decision = one split stream keyed by (link, attempt index);
+   draws inside the stream happen in a fixed order so the schedule is a
+   pure function of the spec. *)
+let next t ~src ~dst =
+  let k =
+    match Hashtbl.find_opt t.attempts (src, dst) with
+    | Some r ->
+        incr r;
+        !r - 1
+    | None ->
+        Hashtbl.add t.attempts (src, dst) (ref 1);
+        0
+  in
+  let r =
+    Rng.split t.root ~label:(Printf.sprintf "link-%d-%d-%d" src dst k)
+  in
+  let u = float_of_int (Rng.int_below r 1_000_000_000) /. 1e9 in
+  let s = t.sp in
+  let c1 = s.f_drop in
+  let c2 = c1 +. s.f_corrupt in
+  let c3 = c2 +. s.f_duplicate in
+  let c4 = c3 +. s.f_reorder in
+  let c5 = c4 +. s.f_delay in
+  if u < c1 then begin
+    t.tallies.(0) <- t.tallies.(0) + 1;
+    Drop
+  end
+  else if u < c2 then begin
+    t.tallies.(1) <- t.tallies.(1) + 1;
+    Corrupt
+      {
+        cor_offset = Rng.int_below r 1_000_000;
+        cor_mask = 1 + Rng.int_below r 255;
+      }
+  end
+  else if u < c3 then begin
+    t.tallies.(2) <- t.tallies.(2) + 1;
+    Duplicate
+  end
+  else if u < c4 then begin
+    t.tallies.(3) <- t.tallies.(3) + 1;
+    Reorder
+  end
+  else if u < c5 then begin
+    t.tallies.(4) <- t.tallies.(4) + 1;
+    Delay (1 + Rng.int_below r s.f_max_delay)
+  end
+  else Deliver
+
+let apply_corruption c msg =
+  let len = Bytes.length msg in
+  if len = 0 then msg
+  else begin
+    let out = Bytes.copy msg in
+    let i = c.cor_offset mod len in
+    Bytes.set out i
+      (Char.chr (Char.code (Bytes.get out i) lxor (c.cor_mask land 0xFF)));
+    out
+  end
+
+let kinds = [ "drop"; "corrupt"; "duplicate"; "reorder"; "delay" ]
+let injected t = List.mapi (fun i k -> (k, t.tallies.(i))) kinds
+let total_injected t = Array.fold_left ( + ) 0 t.tallies

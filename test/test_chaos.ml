@@ -1,0 +1,310 @@
+(* Chaos conformance suite: the full message-passing protocol replayed
+   under seeded fault schedules.
+
+   The contract under test (lib/grouprank/transport.ml): whatever the
+   fault plan does, a run TERMINATES and is either correct — ranks
+   identical to the fault-free golden — or aborts with the typed
+   Transport.Party_dropped carrying forensics.  Never a deadlock, never
+   a silently wrong ranking.  And the whole ordeal is deterministic:
+   the same fault seed yields a byte-identical physical transcript, at
+   any job count. *)
+
+open Ppgr_bigint
+open Ppgr_rng
+open Ppgr_group
+open Ppgr_grouprank
+module Faultplan = Ppgr_mpcnet.Faultplan
+module Pool = Ppgr_exec.Pool
+
+let ranks_of_betas betas =
+  Array.map
+    (fun b ->
+      1
+      + Array.fold_left
+          (fun acc b' -> if Bigint.compare b' b > 0 then acc + 1 else acc)
+          0 betas)
+    betas
+
+(* One shared instance: n = 4 with a tie, l = 5 bits.  The protocol RNG
+   seed is fixed across scenarios, so only the fault schedule varies. *)
+let betas = Array.map Bigint.of_int [| 9; 3; 14; 3 |]
+let l = 5
+let golden = ranks_of_betas betas
+let retry_budget = 8
+
+(* The scenario matrix: >= 20 seeded fault mixes, single-kind and
+   compound, mild to hostile.  Parsed through spec_of_string so the
+   scenarios double as parser coverage. *)
+let scenarios =
+  [
+    ("calm-baseline", "seed=calm");
+    ("drop-light", "drop=0.05,seed=chaos-1");
+    ("drop-moderate", "drop=0.2,seed=chaos-2");
+    ("drop-heavy", "drop=0.5,seed=chaos-3");
+    ("drop-storm", "drop=0.9,seed=chaos-4");
+    ("corrupt-light", "corrupt=0.1,seed=chaos-5");
+    ("corrupt-moderate", "corrupt=0.3,seed=chaos-6");
+    ("corrupt-heavy", "corrupt=0.5,seed=chaos-7");
+    ("dup-light", "dup=0.2,seed=chaos-8");
+    ("dup-heavy", "dup=0.5,seed=chaos-9");
+    ("reorder-light", "reorder=0.1,seed=chaos-10");
+    ("reorder-moderate", "reorder=0.3,seed=chaos-11");
+    ("reorder-heavy", "reorder=0.5,seed=chaos-12");
+    ("delay-moderate", "delay=0.3,maxdelay=4,seed=chaos-13");
+    ("delay-heavy", "delay=0.8,maxdelay=16,seed=chaos-14");
+    ("drop-corrupt", "drop=0.1,corrupt=0.1,seed=chaos-15");
+    ("loss-trio", "drop=0.05,dup=0.05,reorder=0.05,seed=chaos-16");
+    ( "all-faults-mild",
+      "drop=0.05,corrupt=0.05,dup=0.05,reorder=0.05,delay=0.05,seed=chaos-17" );
+    ( "all-faults-moderate",
+      "drop=0.1,corrupt=0.1,dup=0.1,reorder=0.1,delay=0.1,maxdelay=8,\
+       seed=chaos-18" );
+    ("drop-delay", "drop=0.3,delay=0.3,maxdelay=4,seed=chaos-19");
+    ("corrupt-dup", "corrupt=0.15,dup=0.15,seed=chaos-20");
+    ("perfect-storm", "drop=0.25,corrupt=0.25,dup=0.2,reorder=0.2,seed=chaos-21");
+  ]
+
+(* Only faults the sender times out on can exhaust the retry budget;
+   duplicates and delays always deliver on the first attempt. *)
+let may_abort (s : Faultplan.spec) =
+  s.Faultplan.f_drop > 0. || s.f_corrupt > 0. || s.f_reorder > 0.
+
+module Conformance (G : Group_intf.GROUP) = struct
+  module RT = Runtime.Make (G)
+
+  type outcome =
+    | Completed of RT.stats
+    | Aborted of Transport.forensics
+
+  let run_spec spec =
+    let rng = Rng.create ~seed:"chaos-protocol" in
+    match RT.run ~faults:spec ~retry_budget rng ~l ~betas with
+    | st -> Completed st
+    | exception Transport.Party_dropped f -> Aborted f
+
+  let digest_of = function
+    | Completed st -> st.RT.transcript_sha
+    | Aborted f -> f.Transport.fr_digest
+
+  let check_hex64 what s =
+    Alcotest.(check int) (what ^ " digest length") 64 (String.length s);
+    String.iter
+      (fun c ->
+        match c with
+        | '0' .. '9' | 'a' .. 'f' -> ()
+        | _ -> Alcotest.failf "%s digest not lowercase hex: %S" what s)
+      s
+
+  (* The conformance predicate for one scenario. *)
+  let check_outcome name spec = function
+    | Completed st ->
+        Alcotest.(check (array int)) (name ^ ": ranks golden") golden st.RT.ranks;
+        check_hex64 name st.RT.transcript_sha;
+        Alcotest.(check bool)
+          (name ^ ": physical >= logical messages")
+          true
+          (st.RT.phys_messages >= st.RT.messages);
+        Alcotest.(check bool)
+          (name ^ ": physical bytes cover envelopes")
+          true
+          (st.RT.phys_bytes
+          >= st.RT.bytes_on_wire + (st.RT.messages * Wire.envelope_overhead));
+        let injected =
+          List.fold_left (fun a (_, c) -> a + c) 0 st.RT.faults_injected
+        in
+        if injected = 0 then begin
+          (* A clean schedule must add exactly one envelope per message
+             and recover nothing. *)
+          Alcotest.(check int)
+            (name ^ ": clean phys messages")
+            st.RT.messages st.RT.phys_messages;
+          Alcotest.(check int)
+            (name ^ ": clean phys bytes")
+            (st.RT.bytes_on_wire + (st.RT.messages * Wire.envelope_overhead))
+            st.RT.phys_bytes;
+          Alcotest.(check int) (name ^ ": clean retransmits") 0 st.RT.retransmits
+        end;
+        (* Every corruption that reached the wire was refused by CRC,
+           and every timed-out attempt was retransmitted. *)
+        let kind k = List.assoc k st.RT.faults_injected in
+        Alcotest.(check int)
+          (name ^ ": corruptions all CRC-rejected")
+          (kind "corrupt") st.RT.crc_rejects;
+        Alcotest.(check int)
+          (name ^ ": timeouts all retransmitted")
+          (kind "drop" + kind "corrupt" + kind "reorder")
+          st.RT.retransmits;
+        if kind "delay" > 0 || st.RT.retransmits > 0 then
+          Alcotest.(check bool)
+            (name ^ ": backoff clock advanced")
+            true
+            (st.RT.backoff_ticks > 0)
+    | Aborted f ->
+        Alcotest.(check bool)
+          (name ^ ": abort only under timeout faults")
+          true (may_abort spec);
+        Alcotest.(check int)
+          (name ^ ": abort after full budget")
+          (retry_budget + 1) f.Transport.fr_attempts;
+        Alcotest.(check int)
+          (name ^ ": one event per attempt")
+          (retry_budget + 1)
+          (List.length f.Transport.fr_events);
+        check_hex64 name f.Transport.fr_digest;
+        Alcotest.(check bool)
+          (name ^ ": forensics name a protocol step")
+          true
+          (f.Transport.fr_step <> "")
+
+  let scenario_cases =
+    List.map
+      (fun (name, spec_str) ->
+        Alcotest.test_case name `Quick (fun () ->
+            let spec = Faultplan.spec_of_string spec_str in
+            check_outcome name spec (run_spec spec)))
+      scenarios
+
+  (* Same seed, same schedule, same transcript — byte-identical. *)
+  let determinism_cases =
+    let replayed = [ "calm-baseline"; "drop-storm"; "all-faults-moderate"; "reorder-heavy" ] in
+    List.map
+      (fun name ->
+        let spec_str = List.assoc name scenarios in
+        Alcotest.test_case (name ^ " replays identically") `Quick (fun () ->
+            let spec = Faultplan.spec_of_string spec_str in
+            let a = run_spec spec and b = run_spec spec in
+            Alcotest.(check string) "transcript digest" (digest_of a) (digest_of b);
+            match (a, b) with
+            | Completed x, Completed y ->
+                Alcotest.(check (array int)) "ranks" x.RT.ranks y.RT.ranks;
+                Alcotest.(check int) "retransmits" x.RT.retransmits y.RT.retransmits
+            | Aborted x, Aborted y ->
+                Alcotest.(check string) "abort step" x.Transport.fr_step
+                  y.Transport.fr_step;
+                Alcotest.(check int) "abort seq" x.Transport.fr_seq
+                  y.Transport.fr_seq
+            | _ -> Alcotest.fail "outcome kind differs between replays"))
+      replayed
+
+  (* The transcript must not depend on the domain-pool job count. *)
+  let jobs_cases =
+    let crossed = [ "calm-baseline"; "drop-storm"; "all-faults-moderate" ] in
+    List.map
+      (fun name ->
+        let spec_str = List.assoc name scenarios in
+        Alcotest.test_case (name ^ ": jobs=1 = jobs=4") `Quick (fun () ->
+            let spec = Faultplan.spec_of_string spec_str in
+            let prev = Pool.jobs () in
+            Fun.protect
+              ~finally:(fun () -> Pool.set_jobs prev)
+              (fun () ->
+                Pool.set_jobs 1;
+                let a = run_spec spec in
+                Pool.set_jobs 4;
+                let b = run_spec spec in
+                Alcotest.(check string) "transcript digest" (digest_of a)
+                  (digest_of b))))
+      crossed
+
+  let cases = scenario_cases @ determinism_cases @ jobs_cases
+end
+
+(* Group-independent fault-plan behaviour. *)
+let faultplan_tests =
+  [
+    Alcotest.test_case "spec parses and round-trips" `Quick (fun () ->
+        let s =
+          Faultplan.spec_of_string
+            "drop=0.1,corrupt=0.02,dup=0.01,reorder=0.05,delay=0.1,maxdelay=4,\
+             seed=x"
+        in
+        Alcotest.(check string)
+          "round trip"
+          (Faultplan.spec_to_string s)
+          (Faultplan.spec_to_string
+             (Faultplan.spec_of_string (Faultplan.spec_to_string s))));
+    Alcotest.test_case "unknown keys and bad rates rejected" `Quick (fun () ->
+        let bad s =
+          try
+            ignore (Faultplan.spec_of_string s);
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "unknown key" true (bad "frobnicate=0.1");
+        Alcotest.(check bool) "rate above 1" true (bad "drop=1.5");
+        Alcotest.(check bool) "negative rate" true (bad "corrupt=-0.1");
+        Alcotest.(check bool) "no equals sign" true (bad "drop");
+        Alcotest.(check bool) "zero maxdelay" true (bad "maxdelay=0"));
+    Alcotest.test_case "schedule is independent of link interleaving" `Quick
+      (fun () ->
+        (* Draw the same 40 per-link decisions in sequential and in
+           round-robin link order: the per-link schedules must agree. *)
+        let spec =
+          Faultplan.spec_of_string
+            "drop=0.2,corrupt=0.2,dup=0.2,reorder=0.2,delay=0.1,seed=ilv"
+        in
+        let links = [ (0, 1); (1, 2); (2, 0) ] in
+        let a = Faultplan.create spec and b = Faultplan.create spec in
+        let seq_order =
+          List.concat_map
+            (fun (src, dst) ->
+              List.init 40 (fun _ -> Faultplan.next a ~src ~dst))
+            links
+        in
+        let rr = Array.make (3 * 40) Faultplan.Deliver in
+        for k = 0 to 39 do
+          List.iteri
+            (fun li (src, dst) -> rr.((li * 40) + k) <- Faultplan.next b ~src ~dst)
+            links
+        done;
+        Alcotest.(check bool)
+          "same per-link decisions" true
+          (seq_order = Array.to_list rr));
+    Alcotest.test_case "corruption damages exactly one byte" `Quick (fun () ->
+        let spec = Faultplan.spec_of_string "corrupt=1,seed=corr" in
+        let plan = Faultplan.create spec in
+        for _ = 1 to 50 do
+          match Faultplan.next plan ~src:0 ~dst:1 with
+          | Faultplan.Corrupt c ->
+              let msg = Bytes.init 33 (fun i -> Char.chr (i * 7 land 0xFF)) in
+              let out = Faultplan.apply_corruption c msg in
+              let diff = ref 0 in
+              Bytes.iteri
+                (fun i ch -> if ch <> Bytes.get out i then incr diff)
+                msg;
+              Alcotest.(check int) "one byte differs" 1 !diff
+          | _ -> Alcotest.fail "corrupt=1 must always corrupt"
+        done);
+    Alcotest.test_case "tallies account every non-deliver decision" `Quick
+      (fun () ->
+        let spec =
+          Faultplan.spec_of_string
+            "drop=0.3,corrupt=0.2,dup=0.2,reorder=0.2,delay=0.1,seed=tally"
+        in
+        let plan = Faultplan.create spec in
+        let non_deliver = ref 0 in
+        for src = 0 to 2 do
+          for k = 0 to 99 do
+            ignore k;
+            match Faultplan.next plan ~src ~dst:((src + 1) mod 3) with
+            | Faultplan.Deliver -> ()
+            | _ -> incr non_deliver
+          done
+        done;
+        Alcotest.(check int)
+          "total tally" !non_deliver
+          (Faultplan.total_injected plan));
+  ]
+
+module G_dl = (val Dl_group.dl_512 () : Group_intf.GROUP)
+module G_ec = (val Ec_group.ecc_160 () : Group_intf.GROUP)
+module Dl = Conformance (G_dl)
+module Ec = Conformance (G_ec)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ("faultplan", faultplan_tests);
+      ("dl-512", Dl.cases);
+      ("ecc-160", Ec.cases);
+    ]

@@ -310,6 +310,102 @@ let netsim_suite =
           (List.length st.Netsim.edges));
   ]
 
+(* ---- Observability under faults: the summary still tiles, and
+   retransmitted bytes are first-class citizens of the per-link
+   tallies ---- *)
+
+module G_faults = (val Dl_group.dl_test_64 ())
+module R = Runtime.Make (G_faults)
+
+let faults_suite =
+  let run_traced spec_str =
+    let rng = Rng.create ~seed:"obs-faults" in
+    let betas = Array.map Bigint.of_int [| 3; 9; 1; 14 |] in
+    let faults = Ppgr_mpcnet.Faultplan.spec_of_string spec_str in
+    Trace.capture (fun () -> R.run ~faults rng ~l:6 ~betas)
+  in
+  (* No reorder in the mix: reordered envelopes can outlive their
+     protocol step (link limbo), which is exactly what would make exact
+     per-step tiling impossible to assert. *)
+  let spec = "drop=0.1,corrupt=0.1,dup=0.1,delay=0.2,maxdelay=4,seed=obs" in
+  [
+    Alcotest.test_case "summary tiles logical and physical bytes" `Quick
+      (fun () ->
+        let s, spans = run_traced spec in
+        let rows = Summary.rows spans in
+        (* The logical tiling of PR 4 must survive the lossy transport:
+           wire instants still sum to bytes_on_wire exactly. *)
+        Alcotest.(check int) "logical bytes_out tile"
+          s.R.bytes_on_wire
+          (Summary.total rows "bytes_out");
+        Alcotest.(check int) "logical bytes_in tile"
+          s.R.bytes_on_wire
+          (Summary.total rows "bytes_in");
+        (* And the physical level tiles too: every envelope byte,
+           retransmissions included, attributed to some (step, party). *)
+        Alcotest.(check int) "physical bytes_out tile"
+          s.R.phys_bytes
+          (Summary.total rows "phys_out");
+        Alcotest.(check int) "physical bytes_in tile"
+          s.R.phys_bytes
+          (Summary.total rows "phys_in");
+        Alcotest.(check bool) "schedule was actually hostile" true
+          (s.R.retransmits > 0);
+        Alcotest.(check bool) "physical exceeds logical" true
+          (s.R.phys_bytes > s.R.bytes_on_wire))
+    ;
+    Alcotest.test_case "retry markers tile the injected faults" `Quick
+      (fun () ->
+        let s, spans = run_traced spec in
+        let rows = Summary.rows spans in
+        let injected =
+          List.fold_left (fun a (_, c) -> a + c) 0 s.R.faults_injected
+        in
+        Alcotest.(check bool) "faults injected" true (injected > 0);
+        (* One runtime.retry instant with retries=1 per fault event. *)
+        Alcotest.(check int) "retries tile" injected
+          (Summary.total rows "retries"));
+    Alcotest.test_case "retransmitted bytes show in netsim link tallies"
+      `Quick (fun () ->
+        let open Ppgr_mpcnet in
+        let s_clean, _ = run_traced "seed=clean" in
+        let s_faulty, _ = run_traced spec in
+        let link = { Topology.bandwidth_bps = 8e6; latency_s = 0.002 } in
+        let topo =
+          Topology.of_edges ~nodes:4 ~link [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+        in
+        let placement = [| 0; 1; 2; 3 |] in
+        let replay st = Netsim.run topo ~placement st.R.net_rounds in
+        let net_clean = replay s_clean and net_faulty = replay s_faulty in
+        (* The physical schedule replays byte-exactly. *)
+        Alcotest.(check int) "clean bytes" s_clean.R.phys_bytes
+          net_clean.Netsim.bytes_sent;
+        Alcotest.(check int) "faulty bytes" s_faulty.R.phys_bytes
+          net_faulty.Netsim.bytes_sent;
+        Alcotest.(check (array int)) "faulty per-party out"
+          s_faulty.R.phys_party_sent net_faulty.Netsim.party_bytes_out;
+        Alcotest.(check (array int)) "faulty per-party in"
+          s_faulty.R.phys_party_received net_faulty.Netsim.party_bytes_in;
+        (* Retransmissions are visible: the hostile run moves strictly
+           more bytes over the links than the clean one. *)
+        Alcotest.(check bool) "links carry the retransmissions" true
+          (net_faulty.Netsim.bytes_sent > net_clean.Netsim.bytes_sent);
+        let edge_total st =
+          List.fold_left
+            (fun a (e : Netsim.edge_traffic) -> a + e.Netsim.edge_bytes)
+            0 st.Netsim.edges
+        in
+        Alcotest.(check bool) "per-edge tallies grow too" true
+          (edge_total net_faulty > edge_total net_clean));
+    Alcotest.test_case "clean transport is envelope-exact" `Quick (fun () ->
+        let s, _ = run_traced "seed=clean" in
+        Alcotest.(check int) "phys = logical + envelopes"
+          (s.R.bytes_on_wire + (s.R.messages * Wire.envelope_overhead))
+          s.R.phys_bytes;
+        Alcotest.(check int) "one physical message per logical" s.R.messages
+          s.R.phys_messages);
+  ]
+
 (* ---- Golden transcript pins: hoisted labels are byte-identical ---- *)
 
 (* These fingerprints were captured on the pre-hoisting code (labels
@@ -378,5 +474,6 @@ let () =
       ("attribution", attribution_suite);
       ("exporters", exporter_suite);
       ("netsim-edges", netsim_suite);
+      ("faults", faults_suite);
       ("golden-labels", golden_suite);
     ]

@@ -185,6 +185,59 @@ let phase2_regression =
         Alcotest.(check (array int)) "ranks" naive.P2N.ranks fast.P2.ranks);
   ]
 
+(* The ROADMAP batch-inversion closure: building a fixed-base table
+   spends exactly ONE field inversion (the Montgomery-shared
+   normalization of the finished table), every entry comes out affine,
+   and the normalized table computes the same function as the naive
+   Jacobian path. *)
+let powtable_batch_normalization =
+  let module Meter = Ppgr_exec.Meter in
+  [
+    Alcotest.test_case "one shared inversion per table build" `Quick (fun () ->
+        let cv = Ec_curve.make_curve Ec_params.secp160r1 in
+        let g = Ec_curve.base_point cv in
+        let bits = Bigint.numbits cv.Ec_curve.prm.Ec_curve.n in
+        let before = Meter.read cv.Ec_curve.invs in
+        let t = Ec_curve.make_powtable cv g ~bits in
+        Alcotest.(check int) "field_invs delta" 1
+          (Meter.read cv.Ec_curve.invs - before);
+        (* Every entry normalized: z = 1 exactly. *)
+        Array.iter
+          (Array.iter (fun (pt : Ec_curve.point) ->
+               Alcotest.(check bool) "entry is affine" true
+                 (Ppgr_bigint.Bigint.Modring.equal cv.Ec_curve.fp
+                    pt.Ec_curve.z
+                    (Ppgr_bigint.Bigint.Modring.one cv.Ec_curve.fp))))
+          t.Ec_curve.ptbl);
+    Alcotest.test_case "normalized table = naive scalar_mul" `Quick (fun () ->
+        let cv = Ec_curve.make_curve Ec_params.secp160r1 in
+        let g = Ec_curve.base_point cv in
+        let n = cv.Ec_curve.prm.Ec_curve.n in
+        let t = Ec_curve.make_powtable cv g ~bits:(Bigint.numbits n) in
+        for _ = 1 to 25 do
+          let e = Bigint.succ (Rng.bigint_below rng (Bigint.pred n)) in
+          Alcotest.(check bool) "same point" true
+            (Ec_curve.equal cv
+               (Ec_curve.scalar_mul_table cv t e)
+               (Ec_curve.scalar_mul cv g e))
+        done);
+    Alcotest.test_case "group-level probe sees one inversion per powtable"
+      `Quick (fun () ->
+        (* Through the GROUP interface: the field_invs probe must tick
+           exactly once when a fresh fixed-base table is built. *)
+        let module G = (val Ec_group.ecc_160 ()) in
+        let probe = List.assoc "field_invs" G.probes in
+        let x = G.pow_gen (G.random_scalar rng) in
+        let before = probe () in
+        let tbl = G.powtable x in
+        Alcotest.(check int) "one inversion" 1 (probe () - before);
+        let e = G.random_scalar rng in
+        (* pow_table itself must not invert at all. *)
+        let mid = probe () in
+        ignore (G.pow_table tbl e);
+        Alcotest.(check int) "no inversion in pow_table" 0 (probe () - mid));
+  ]
+
 let () =
   Alcotest.run "pow-engine"
     [
@@ -194,5 +247,6 @@ let () =
       ("ecc-tiny", engine_suite "ECC-tiny" (Ec_group.ecc_tiny ()));
       ("ecc-160", engine_suite "ECC-160" (Ec_group.ecc_160 ()));
       ("props", engine_props);
+      ("batch-normalization", powtable_batch_normalization);
       ("phase2-regression", phase2_regression);
     ]

@@ -101,6 +101,7 @@ let vendored_constants_tests =
           (Ec_curve.is_infinity cv (Ec_curve.scalar_mul cv g prm.Ec_curve.n)))
   in
   [
+    safe_prime "MODP 512" Modp_params.p_512;
     safe_prime "MODP 1024" Modp_params.p_1024;
     safe_prime "MODP 2048" Modp_params.p_2048;
     safe_prime "test 64" Modp_params.test_64;

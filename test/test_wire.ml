@@ -87,9 +87,18 @@ let hop_frame_tests =
         Array.iteri
           (fun i p -> Alcotest.(check bytes) "payload" p payloads'.(i))
           payloads);
-    Alcotest.test_case "zero payloads round trip" `Quick (fun () ->
-        Alcotest.(check int) "empty frame" 0
-          (Array.length (Wire.decode_hop_frame (Wire.encode_hop_frame [||]))));
+    Alcotest.test_case "zero-count frame rejected" `Quick (fun () ->
+        (* The runtime never ships an empty vector (n >= 2); a zero
+           count on the wire is damage, not data. *)
+        Alcotest.(check bool) "raises" true
+          (rejects (Wire.encode_hop_frame [||])));
+    Alcotest.test_case "payload length past end of frame rejected" `Quick
+      (fun () ->
+        let frame = Wire.encode_hop_frame [| Bytes.of_string "abcdef" |] in
+        (* Inflate the first payload's u32 length beyond the buffer:
+           bytes 0..2 are tag + u16 count, 3..6 the length. *)
+        Bytes.set frame 3 '\xFF';
+        Alcotest.(check bool) "raises" true (rejects frame));
     Alcotest.test_case "wrong tag rejected" `Quick (fun () ->
         let frame = Wire.encode_hop_frame [| Bytes.of_string "abc" |] in
         Bytes.set frame 0 '\x12';
@@ -175,11 +184,167 @@ let group_message_tests (name, g) =
            with Wire.Malformed _ -> true));
   ]
 
+(* Fuzzing the full codec surface: one exemplar message per tag, then
+   truncations, single-bit flips and random garbage against its decoder.
+   A decoder may refuse (Wire.Malformed) or decode the damage to a
+   *different* message — it must never crash with anything else, spin,
+   or silently decode back to the original. *)
+let fuzz_tests =
+  let module G = (val Ppgr_group.Ec_group.ecc_tiny ()) in
+  let module W = Wire.Make (G) in
+  (* Every surface: (name, exemplar encoding, decode-then-reencode).
+     The formats are canonical, so re-encoding a decode of damaged
+     bytes must reproduce those damaged bytes' meaning, not the
+     original's. *)
+  let surfaces : (string * Bytes.t * (Bytes.t -> Bytes.t)) list =
+    let dot1 =
+      let w = Array.init 4 (fun _ -> Zfield.random rng f) in
+      snd (Dot_product.bob_round1 rng f ~w ~s:3)
+    in
+    let dot2 = { Dot_product.a = Zfield.random rng f; h = Zfield.random rng f } in
+    let submission = { Wire.sub_rank = 2; sub_info = [| 9; 0; 70000 |] } in
+    let x = G.random_scalar rng in
+    let y = G.pow_gen x in
+    let zkp = W.Z.prove_interactive rng ~secret:x ~statement:y ~n_verifiers:3 in
+    let batch = Array.init 5 (fun i -> W.E.encrypt_exp_int rng y (i mod 2)) in
+    let frame_payloads =
+      [| W.encode_cipher_batch batch; Bytes.of_string "opaque"; Bytes.empty |]
+    in
+    let envelope_payload = W.encode_pubkey y in
+    [
+      ( "dot-round1 (0x01)",
+        Wire.encode_dot_round1 dot1,
+        fun b -> Wire.encode_dot_round1 (Wire.decode_dot_round1 b) );
+      ( "dot-round2 (0x02)",
+        Wire.encode_dot_round2 dot2,
+        fun b -> Wire.encode_dot_round2 (Wire.decode_dot_round2 b) );
+      ( "pubkey (0x10)",
+        W.encode_pubkey y,
+        fun b -> W.encode_pubkey (W.decode_pubkey b) );
+      ( "zkp (0x11)",
+        W.encode_zkp zkp,
+        fun b -> W.encode_zkp (W.decode_zkp b) );
+      ( "cipher-batch (0x12)",
+        W.encode_cipher_batch batch,
+        fun b -> W.encode_cipher_batch (W.decode_cipher_batch b) );
+      ( "hop-frame (0x13)",
+        Wire.encode_hop_frame frame_payloads,
+        fun b -> Wire.encode_hop_frame (Wire.decode_hop_frame b) );
+      ( "envelope (0x14)",
+        Wire.encode_envelope ~src:3 ~dst:1 ~seq:42 envelope_payload,
+        fun b ->
+          let e = Wire.decode_envelope b in
+          Wire.encode_envelope ~src:e.Wire.env_src ~dst:e.Wire.env_dst
+            ~seq:e.Wire.env_seq e.Wire.env_payload );
+      ( "submission (0x20)",
+        Wire.encode_submission submission,
+        fun b -> Wire.encode_submission (Wire.decode_submission b) );
+    ]
+  in
+  let flip_bit data i =
+    let out = Bytes.copy data in
+    let byte = i / 8 and bit = i mod 8 in
+    Bytes.set out byte
+      (Char.chr (Char.code (Bytes.get out byte) lxor (1 lsl bit)));
+    out
+  in
+  let prop name gen p =
+    QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:400 ~name gen p)
+  in
+  List.concat_map
+    (fun (name, original, decode_reencode) ->
+      let len = Bytes.length original in
+      [
+        Alcotest.test_case (name ^ ": every truncation rejected") `Quick
+          (fun () ->
+            for cut = 0 to len - 1 do
+              Alcotest.(check bool)
+                (Printf.sprintf "cut at %d" cut)
+                true
+                (try
+                   ignore (decode_reencode (Bytes.sub original 0 cut));
+                   false
+                 with Wire.Malformed _ -> true)
+            done);
+        prop
+          (name ^ ": single-bit flip never crashes or round-trips")
+          (QCheck2.Gen.int_range 0 ((8 * len) - 1))
+          (fun i ->
+            match decode_reencode (flip_bit original i) with
+            | exception Wire.Malformed _ -> true
+            | reencoded -> not (Bytes.equal reencoded original));
+        prop
+          (name ^ ": random garbage never crashes")
+          QCheck2.Gen.(
+            (* Half the cases keep the valid tag byte so the fuzz digs
+               past the first check. *)
+            pair bool (string_size ~gen:char (int_range 0 (2 * len))))
+          (fun (keep_tag, junk) ->
+            let data = Bytes.of_string junk in
+            if keep_tag && Bytes.length data > 0 && len > 0 then
+              Bytes.set data 0 (Bytes.get original 0);
+            match decode_reencode data with
+            | exception Wire.Malformed _ -> true
+            | _ -> true);
+      ])
+    surfaces
+  @ [
+      Alcotest.test_case "envelope: every single-bit flip CRC-rejected" `Quick
+        (fun () ->
+          (* CRC-32 detects all single-bit errors, so unlike the other
+             surfaces the envelope must refuse every one of them. *)
+          let env =
+            Wire.encode_envelope ~src:0 ~dst:2 ~seq:9
+              (Bytes.of_string "chaos-conformance-payload")
+          in
+          for i = 0 to (8 * Bytes.length env) - 1 do
+            Alcotest.(check bool)
+              (Printf.sprintf "bit %d" i)
+              true
+              (try
+                 ignore (Wire.decode_envelope (flip_bit env i));
+                 false
+               with Wire.Malformed _ -> true)
+          done);
+      Alcotest.test_case "envelope round trip" `Quick (fun () ->
+          let payload = Bytes.of_string "some payload" in
+          let e =
+            Wire.decode_envelope
+              (Wire.encode_envelope ~src:5 ~dst:0 ~seq:77 payload)
+          in
+          Alcotest.(check int) "src" 5 e.Wire.env_src;
+          Alcotest.(check int) "dst" 0 e.Wire.env_dst;
+          Alcotest.(check int) "seq" 77 e.Wire.env_seq;
+          Alcotest.(check bytes) "payload" payload e.Wire.env_payload;
+          Alcotest.(check int) "documented overhead"
+            (Bytes.length payload + Wire.envelope_overhead)
+            (Bytes.length
+               (Wire.encode_envelope ~src:5 ~dst:0 ~seq:77 payload)));
+      Alcotest.test_case "cipher batch with lying count rejected" `Quick
+        (fun () ->
+          (* A corrupted u16 count must be caught by arithmetic, not by
+             attempting a giant allocation. *)
+          let module G = (val Ppgr_group.Ec_group.ecc_tiny ()) in
+          let module W = Wire.Make (G) in
+          let _, y = W.E.keygen rng in
+          let data =
+            W.encode_cipher_batch
+              (Array.init 3 (fun i -> W.E.encrypt_exp_int rng y (i mod 2)))
+          in
+          Bytes.set data 1 '\xFF';
+          Alcotest.(check bool) "raises" true
+            (try
+               ignore (W.decode_cipher_batch data);
+               false
+             with Wire.Malformed _ -> true));
+    ]
+
 let () =
   Alcotest.run "wire"
     [
       ("field-messages", field_message_tests);
       ("hop-frame", hop_frame_tests);
+      ("fuzz", fuzz_tests);
       ("dl", group_message_tests ("DL", Ppgr_group.Dl_group.dl_test_64 ()));
       ("ec", group_message_tests ("EC", Ppgr_group.Ec_group.ecc_tiny ()));
       ("ecc-160", group_message_tests ("ECC-160", Ppgr_group.Ec_group.ecc_160 ()));
