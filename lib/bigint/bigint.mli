@@ -1,9 +1,9 @@
 (** Arbitrary-precision signed integers.
 
     A from-scratch replacement for Zarith sufficient for the cryptographic
-    needs of this repository: sign-magnitude representation over 26-bit
-    limbs, with schoolbook/Karatsuba multiplication, Knuth division,
-    modular arithmetic and (de)serialization.
+    needs of this repository: sign-magnitude representation over 61-bit
+    limbs in native ints, with schoolbook/Karatsuba multiplication, Knuth
+    division, modular arithmetic and (de)serialization.
 
     All values are immutable.  Division truncates toward zero, matching
     OCaml's native [/] and [mod]. *)
@@ -176,6 +176,26 @@ module Modring : sig
   val sqr : ctx -> elt -> elt
   val pow : ctx -> elt -> t -> elt
   (** Exponent must be non-negative. *)
+
+  (** {2 In-place variants}
+
+      Allocation-free forms of the ring operations for hot loops: each
+      writes its result into a caller-provided destination element, which
+      may alias any operand.  Obtain destinations from {!alloc}; an [elt]
+      written this way is a perfectly ordinary element afterwards. *)
+
+  val alloc : ctx -> elt
+  (** A fresh mutable element, initially zero. *)
+
+  val copy_into : ctx -> elt -> elt -> unit
+  (** [copy_into c dst src] overwrites [dst] with the value of [src]. *)
+
+  val add_into : ctx -> elt -> elt -> elt -> unit
+  val sub_into : ctx -> elt -> elt -> elt -> unit
+  val neg_into : ctx -> elt -> elt -> unit
+  val double_into : ctx -> elt -> elt -> unit
+  val mul_into : ctx -> elt -> elt -> elt -> unit
+  val sqr_into : ctx -> elt -> elt -> unit
 
   val inv : ctx -> elt -> elt
   (** @raise Division_by_zero if not invertible. *)

@@ -1,17 +1,38 @@
 (* Magnitude (unsigned) arbitrary-precision arithmetic on little-endian
-   arrays of 26-bit limbs.  This module is internal to [ppgr_bigint]; the
-   signed public interface is {!Bigint}.
+   arrays of 61-bit limbs stored in native (63-bit immediate) ints.
+   This module is internal to [ppgr_bigint]; the signed public interface
+   is {!Bigint}.
 
    Invariant: a magnitude is normalized, i.e. it has no most-significant
    zero limb.  Zero is the empty array.
 
-   The limb width of 26 bits keeps every intermediate value of the
-   schoolbook and Montgomery inner loops below 2^53, well inside OCaml's
-   63-bit native [int] on 64-bit platforms. *)
+   Limb width.  A limb carries 61 payload bits.  Products of two limbs
+   are formed from a 31/30 half-split (31x31-, 31x30- and 30x30-bit
+   partial products all fit a native int), and 61 is the widest payload
+   for which the recombination and the hot-loop accumulators stay exact:
+   the cross term [a0*b1 + a1*b0] of the split fits without its own
+   carry step, and a triple sum [limb + limb + carry] stays below 2^63,
+   so the schoolbook/Montgomery inner loops resolve each step with a
+   single mask/shift.  Compared to the previous 26-bit layout this
+   halves the limb count at every modulus size used by the protocol
+   (DL-1024 drops from 40 limbs to 17) and quarters the inner-loop trip
+   count of a multiplication.
 
-let base_bits = 26
+   Division is the one operation that cannot run at this width: Knuth's
+   algorithm D estimates quotient digits from a two-digit numerator,
+   which must fit a native int, so {!divmod} repacks its operands onto
+   an internal base-2^31 digit domain.  The repack is O(n) and division
+   sits far off every hot path (the Montgomery layer avoids it
+   entirely). *)
+
+let base_bits = 61
 let base = 1 lsl base_bits
 let mask = base - 1
+
+(* Half-split constants for limb products: a limb is [a1 * 2^31 + a0]
+   with [a0] 31 bits wide and [a1] 30 bits wide. *)
+let m31 = (1 lsl 31) - 1
+let m30 = (1 lsl 30) - 1
 
 let zero : int array = [||]
 
@@ -100,13 +121,8 @@ let sub (a : int array) (b : int array) =
   for i = 0 to la - 1 do
     let bv = if i < lb then b.(i) else 0 in
     let d = a.(i) - bv - !borrow in
-    if d < 0 then begin
-      r.(i) <- d + base;
-      borrow := 1
-    end else begin
-      r.(i) <- d;
-      borrow := 0
-    end
+    r.(i) <- d land mask;
+    borrow := (d lsr base_bits) land 1
   done;
   assert (!borrow = 0);
   normalize r
@@ -114,17 +130,26 @@ let sub (a : int array) (b : int array) =
 let add_int a v = add a (of_int v)
 let sub_int a v = sub a (of_int v)
 
+(* O(n) scan multiplying by a single limb-sized constant.  The per-limb
+   product is recombined from the half-split; the running carry stays
+   below [base], so each step is one masked add. *)
 let mul_int (a : int array) (v : int) =
-  if v < 0 || v >= base then invalid_arg "Mag.mul_int: limb out of range";
+  if v < 0 || v > mask then invalid_arg "Mag.mul_int: limb out of range";
   if v = 0 || is_zero a then zero
   else begin
     let la = Array.length a in
     let r = Array.make (la + 1) 0 in
+    let v0 = v land m31 and v1 = v lsr 31 in
     let carry = ref 0 in
     for i = 0 to la - 1 do
-      let p = (a.(i) * v) + !carry in
-      r.(i) <- p land mask;
-      carry := p lsr base_bits
+      let ai = a.(i) in
+      let a0 = ai land m31 and a1 = ai lsr 31 in
+      let p00 = a0 * v0 and p11 = a1 * v1 in
+      let mid = (a0 * v1) + (a1 * v0) in
+      let lop = p00 + ((mid land m30) lsl 31) in
+      let s = (lop land mask) + !carry in
+      r.(i) <- s land mask;
+      carry := (p11 lsl 1) + (mid lsr 30) + (lop lsr base_bits) + (s lsr base_bits)
     done;
     r.(la) <- !carry;
     normalize r
@@ -138,12 +163,19 @@ let mul_schoolbook (a : int array) (b : int array) =
     for i = 0 to la - 1 do
       let ai = a.(i) in
       if ai <> 0 then begin
+        let a0 = ai land m31 and a1 = ai lsr 31 in
         let carry = ref 0 in
         for j = 0 to lb - 1 do
-          (* r.(i+j) < 2^26, ai*b.(j) < 2^52, carry < 2^27: sum < 2^53. *)
-          let p = r.(i + j) + (ai * b.(j)) + !carry in
-          r.(i + j) <- p land mask;
-          carry := p lsr base_bits
+          let bj = Array.unsafe_get b j in
+          let b0 = bj land m31 and b1 = bj lsr 31 in
+          let p00 = a0 * b0 and p11 = a1 * b1 in
+          let mid = (a0 * b1) + (a1 * b0) in
+          let lop = p00 + ((mid land m30) lsl 31) in
+          (* r.(i+j) + lo + carry < 3 * 2^61 < 2^63: exact. *)
+          let s = Array.unsafe_get r (i + j) + (lop land mask) + !carry in
+          Array.unsafe_set r (i + j) (s land mask);
+          carry :=
+            (p11 lsl 1) + (mid lsr 30) + (lop lsr base_bits) + (s lsr base_bits)
         done;
         let rec prop k c =
           if c <> 0 then begin
@@ -201,9 +233,9 @@ let shift_left (a : int array) bits =
     else begin
       let carry = ref 0 in
       for i = 0 to la - 1 do
-        let v = (a.(i) lsl bit_shift) lor !carry in
-        r.(i + limb_shift) <- v land mask;
-        carry := v lsr base_bits
+        let ai = a.(i) in
+        r.(i + limb_shift) <- ((ai lsl bit_shift) land mask) lor !carry;
+        carry := ai lsr (base_bits - bit_shift)
       done;
       r.(la + limb_shift) <- !carry
     end;
@@ -261,51 +293,116 @@ let logxor a b =
     (Array.init n (fun i ->
          (if i < la then a.(i) else 0) lxor if i < lb then b.(i) else 0))
 
-(* Division by a single limb; returns (quotient, remainder). *)
+(* Division by a single small constant: each limb is consumed as a
+   30-bit high half then a 31-bit low half so the running numerator
+   [rem * 2^k + half] never exceeds 62 bits for divisors below 2^31. *)
 let divmod_int (a : int array) (v : int) =
-  if v <= 0 || v >= base then invalid_arg "Mag.divmod_int: limb out of range";
+  if v <= 0 || v > m31 then invalid_arg "Mag.divmod_int: divisor out of range";
   let la = Array.length a in
   let q = Array.make la 0 in
   let rem = ref 0 in
   for i = la - 1 downto 0 do
-    let cur = (!rem lsl base_bits) lor a.(i) in
-    q.(i) <- cur / v;
-    rem := cur mod v
+    let ai = a.(i) in
+    let hi = ai lsr 31 and lo = ai land m31 in
+    let cur1 = (!rem lsl 30) lor hi in
+    let q1 = cur1 / v in
+    let cur2 = ((cur1 mod v) lsl 31) lor lo in
+    q.(i) <- (q1 lsl 31) lor (cur2 / v);
+    rem := cur2 mod v
   done;
   (normalize q, !rem)
 
-(* Knuth Algorithm D.  Requires [Array.length bv >= 2] after
-   normalization and [compare a b >= 0] is not required (handles any). *)
+(* ---- Knuth Algorithm D over an internal base-2^31 digit domain. ---- *)
+
+let digit_bits = 31
+let digit_mask = m31
+
+(* Repack 61-bit limbs into little-endian base-2^31 digits. *)
+let to_digits31 (a : int array) =
+  let nb = numbits a in
+  let nd = (nb + digit_bits - 1) / digit_bits in
+  let la = Array.length a in
+  Array.init nd (fun k ->
+      let p = digit_bits * k in
+      let i = p / base_bits and off = p mod base_bits in
+      let v = a.(i) lsr off in
+      let v =
+        if off + digit_bits > base_bits && i + 1 < la then
+          v lor (a.(i + 1) lsl (base_bits - off))
+        else v
+      in
+      v land digit_mask)
+
+(* Inverse repack; the result is normalized. *)
+let of_digits31 (d : int array) =
+  let nd = Array.length d in
+  let nl = ((nd * digit_bits) + base_bits - 1) / base_bits in
+  let a = Array.make (Stdlib.max nl 1) 0 in
+  for j = 0 to nl - 1 do
+    let start = base_bits * j in
+    let i0 = start / digit_bits and off = start mod digit_bits in
+    let v = ref (if i0 < nd then d.(i0) lsr off else 0) in
+    let filled = ref (digit_bits - off) in
+    let i = ref (i0 + 1) in
+    while !filled < base_bits && !i < nd do
+      v := !v lor (d.(!i) lsl !filled);
+      filled := !filled + digit_bits;
+      incr i
+    done;
+    a.(j) <- !v land mask
+  done;
+  normalize a
+
+(* Knuth Algorithm D.  Requires a divisor of at least two base-2^31
+   digits (the dispatch in {!divmod} sends smaller divisors to
+   {!divmod_int}). *)
 let divmod_knuth (a : int array) (b : int array) =
-  let n = Array.length b in
-  assert (n >= 2);
   if compare a b < 0 then (zero, normalize (copy a))
   else begin
-    (* Normalize: shift so the top limb of the divisor has its high bit
-       (of the 26-bit limb) set. *)
-    let s = base_bits - bits_of_limb b.(n - 1) in
-    let u = shift_left a s in
-    let v = shift_left b s in
-    let v = if Array.length v < n then Array.append v [| 0 |] else v in
-    let m = Array.length u - n in
-    let m = if m < 0 then 0 else m in
-    (* Work array with one extra high limb. *)
-    let w = Array.make (Array.length u + 1) 0 in
-    Array.blit u 0 w 0 (Array.length u);
+    let u0 = to_digits31 a and v0 = to_digits31 b in
+    let n = Array.length v0 in
+    assert (n >= 2);
+    (* Normalize: shift so the top digit of the divisor has its high bit
+       (of the 31-bit digit) set. *)
+    let s = digit_bits - bits_of_limb v0.(n - 1) in
+    let shl (x : int array) =
+      let lx = Array.length x in
+      let r = Array.make (lx + 1) 0 in
+      if s = 0 then Array.blit x 0 r 0 lx
+      else begin
+        let carry = ref 0 in
+        for i = 0 to lx - 1 do
+          r.(i) <- ((x.(i) lsl s) land digit_mask) lor !carry;
+          carry := x.(i) lsr (digit_bits - s)
+        done;
+        r.(lx) <- !carry
+      end;
+      r
+    in
+    let v = shl v0 in
+    (* The divisor's top digit cannot overflow its width under the
+       normalizing shift. *)
+    assert (v.(n) = 0);
+    let u = shl u0 in
+    let lu = if u.(Array.length u - 1) = 0 then Array.length u - 1 else Array.length u in
+    let m = Stdlib.max 0 (lu - n) in
+    (* Work array with one extra high digit. *)
+    let w = Array.make (lu + 1) 0 in
+    Array.blit u 0 w 0 lu;
     let q = Array.make (m + 1) 0 in
     let vtop = v.(n - 1) in
-    let vsec = if n >= 2 then v.(n - 2) else 0 in
+    let vsec = v.(n - 2) in
     for j = m downto 0 do
-      let num = (w.(j + n) lsl base_bits) lor w.(j + n - 1) in
+      let num = (w.(j + n) lsl digit_bits) lor w.(j + n - 1) in
       let qhat = ref (num / vtop) in
       let rhat = ref (num mod vtop) in
-      if !qhat >= base then begin
-        qhat := base - 1;
+      if !qhat > digit_mask then begin
+        qhat := digit_mask;
         rhat := num - (!qhat * vtop)
       end;
       let continue = ref true in
-      while !continue && !rhat < base do
-        if !qhat * vsec > (!rhat lsl base_bits) lor w.(j + n - 2) then begin
+      while !continue && !rhat <= digit_mask do
+        if !qhat * vsec > (!rhat lsl digit_bits) lor w.(j + n - 2) then begin
           decr qhat;
           rhat := !rhat + vtop
         end else continue := false
@@ -315,38 +412,39 @@ let divmod_knuth (a : int array) (b : int array) =
       let carry = ref 0 in
       for i = 0 to n - 1 do
         let p = (!qhat * v.(i)) + !carry in
-        carry := p lsr base_bits;
-        let d = w.(j + i) - (p land mask) - !borrow in
-        if d < 0 then begin
-          w.(j + i) <- d + base;
-          borrow := 1
-        end else begin
-          w.(j + i) <- d;
-          borrow := 0
-        end
+        carry := p lsr digit_bits;
+        let d = w.(j + i) - (p land digit_mask) - !borrow in
+        w.(j + i) <- d land digit_mask;
+        borrow := (d lsr digit_bits) land 1
       done;
       let d = w.(j + n) - !carry - !borrow in
       if d < 0 then begin
         (* qhat was one too large: add back. *)
-        w.(j + n) <- d + base;
+        w.(j + n) <- d land digit_mask;
         decr qhat;
         let carry2 = ref 0 in
         for i = 0 to n - 1 do
           let sum = w.(j + i) + v.(i) + !carry2 in
-          w.(j + i) <- sum land mask;
-          carry2 := sum lsr base_bits
+          w.(j + i) <- sum land digit_mask;
+          carry2 := sum lsr digit_bits
         done;
-        w.(j + n) <- (w.(j + n) + !carry2) land mask
+        w.(j + n) <- (w.(j + n) + !carry2) land digit_mask
       end else w.(j + n) <- d;
       q.(j) <- !qhat
     done;
-    let r = normalize (Array.sub w 0 n) in
-    (normalize q, shift_right r s)
+    (* Denormalize the remainder digits. *)
+    let r = Array.sub w 0 n in
+    if s > 0 then
+      for i = 0 to n - 1 do
+        let hi = if i + 1 < n then (r.(i + 1) lsl (digit_bits - s)) land digit_mask else 0 in
+        r.(i) <- (r.(i) lsr s) lor hi
+      done;
+    (of_digits31 q, of_digits31 r)
   end
 
 let divmod (a : int array) (b : int array) =
   if is_zero b then raise Division_by_zero;
-  if Array.length b = 1 then begin
+  if Array.length b = 1 && b.(0) <= m31 then begin
     let q, r = divmod_int a b.(0) in
     (q, of_int r)
   end

@@ -51,10 +51,15 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
     Ppgr_exec.Meter.incr ops;
     Bigint.Modring.inv ring x
 
+  let sqr x =
+    Ppgr_exec.Meter.incr ops;
+    Bigint.Modring.sqr ring x
+
   let pow_nonneg x e =
     (* wNAF-4 with precomputed odd powers; every group multiplication
-       (squarings included) ticks the op counter once. *)
-    let x2 = mul x x in
+       (squarings included) ticks the op counter once — the squarings go
+       through the cheaper dedicated squaring kernel. *)
+    let x2 = sqr x in
     let odd = Array.make 4 x in
     for i = 1 to 3 do
       odd.(i) <- mul odd.(i - 1) x2
@@ -72,7 +77,7 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
     in
     List.fold_left
       (fun acc d ->
-        let acc = mul acc acc in
+        let acc = sqr acc in
         if d = 0 then acc
         else if d > 0 then mul acc odd.(d / 2)
         else mul acc (inv_odd (-d / 2)))
@@ -81,10 +86,6 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
   let pow x e =
     let e = Bigint.erem e order in
     if Bigint.is_zero e then identity else pow_nonneg x e
-
-  let sqr x =
-    Ppgr_exec.Meter.incr ops;
-    Bigint.Modring.sqr ring x
 
   (* Fixed-base window table: tbl.(i).(d-1) = x^(d * 2^(w*i)) for
      d in 1..2^w-1.  An exponentiation then needs no squarings, only one

@@ -29,6 +29,12 @@ type curve = {
   a_is_minus3 : bool;
   ops : Ppgr_exec.Meter.t; (* point additions/doublings performed *)
   invs : Ppgr_exec.Meter.t; (* field inversions (normalization cost) *)
+  scratch : Modring.elt array Domain.DLS.key;
+      (* 12 per-domain field temporaries for the Jacobian formulas: the
+         add/double hot paths run entirely in these via the Modring
+         [_into] ops and only allocate the three limb arrays of the
+         returned point.  Curves are shared across pool workers, hence
+         domain-local. *)
 }
 
 type point = {
@@ -48,6 +54,7 @@ let make_curve prm =
     a_is_minus3 = Bigint.equal (Bigint.erem prm.a prm.p) (Bigint.sub prm.p (Bigint.of_int 3));
     ops = Ppgr_exec.Meter.create ();
     invs = Ppgr_exec.Meter.create ();
+    scratch = Domain.DLS.new_key (fun () -> Array.init 12 (fun _ -> Modring.alloc fp));
   }
 
 let infinity cv = { x = Modring.one cv.fp; y = Modring.one cv.fp; z = Modring.zero cv.fp }
@@ -98,18 +105,20 @@ let to_affine_batch cv pts =
       prefix.(k) <- Modring.mul f prefix.(k - 1) zs.(k)
     done;
     Ppgr_exec.Meter.incr cv.invs;
-    (* acc = inverse of zs.(0) * ... * zs.(k) during the back walk *)
-    let acc = ref (Modring.inv f prefix.(m - 1)) in
+    (* acc = inverse of zs.(0) * ... * zs.(k) during the back walk; the
+       per-point work runs in four reused temporaries. *)
+    let acc = Modring.inv f prefix.(m - 1) in
+    let zi = Modring.alloc f and zi2 = Modring.alloc f and zi3 = Modring.alloc f in
     for k = m - 1 downto 0 do
-      let zi = if k = 0 then !acc else Modring.mul f !acc prefix.(k - 1) in
-      acc := Modring.mul f !acc zs.(k);
+      if k = 0 then Modring.copy_into f zi acc
+      else Modring.mul_into f zi acc prefix.(k - 1);
+      Modring.mul_into f acc acc zs.(k);
       let i = pos.(k) in
-      let zi2 = Modring.sqr f zi in
-      let zi3 = Modring.mul f zi2 zi in
-      out.(i) <-
-        Some
-          ( Modring.leave f (Modring.mul f pts.(i).x zi2),
-            Modring.leave f (Modring.mul f pts.(i).y zi3) )
+      Modring.sqr_into f zi2 zi;
+      Modring.mul_into f zi3 zi2 zi;
+      Modring.mul_into f zi2 pts.(i).x zi2;
+      Modring.mul_into f zi3 pts.(i).y zi3;
+      out.(i) <- Some (Modring.leave f zi2, Modring.leave f zi3)
     done
   end;
   out
@@ -131,76 +140,110 @@ let neg cv pt =
   if is_infinity cv pt then pt else { pt with y = Modring.neg cv.fp pt.y }
 
 (* Point doubling ("dbl-2004-hmv" / standard Jacobian formulas, with the
-   a = -3 shortcut M = 3(X-Z^2)(X+Z^2)). *)
+   a = -3 shortcut M = 3(X-Z^2)(X+Z^2)).  All intermediates live in the
+   per-domain scratch; only the returned point allocates. *)
 let double cv pt =
   if is_infinity cv pt || Modring.is_zero cv.fp pt.y then infinity cv
   else begin
     Ppgr_exec.Meter.incr cv.ops;
     let f = cv.fp in
-    let xx = Modring.sqr f pt.x in
-    let yy = Modring.sqr f pt.y in
-    let yyyy = Modring.sqr f yy in
-    let zz = Modring.sqr f pt.z in
+    let sc = Domain.DLS.get cv.scratch in
+    let yy = sc.(0) and yyyy = sc.(1) and zz = sc.(2) and s = sc.(3) in
+    let m = sc.(4) and ta = sc.(5) and tb = sc.(6) and td = sc.(7) in
+    Modring.sqr_into f yy pt.y;
+    Modring.sqr_into f yyyy yy;
+    Modring.sqr_into f zz pt.z;
     (* S = 4 X YY *)
-    let s = Modring.double f (Modring.double f (Modring.mul f pt.x yy)) in
-    let m =
-      if cv.a_is_minus3 then begin
-        let t1 = Modring.sub f pt.x zz in
-        let t2 = Modring.add f pt.x zz in
-        Modring.mul_small f (Modring.mul f t1 t2) 3
-      end
-      else begin
-        let zzzz = Modring.sqr f zz in
-        Modring.add f (Modring.mul_small f xx 3) (Modring.mul f cv.ca zzzz)
-      end
-    in
-    let x3 = Modring.sub f (Modring.sqr f m) (Modring.double f s) in
-    let y3 =
-      Modring.sub f
-        (Modring.mul f m (Modring.sub f s x3))
-        (Modring.double f (Modring.double f (Modring.double f yyyy)))
-    in
-    let z3 = Modring.mul f (Modring.double f pt.y) pt.z in
+    Modring.mul_into f s pt.x yy;
+    Modring.double_into f s s;
+    Modring.double_into f s s;
+    if cv.a_is_minus3 then begin
+      Modring.sub_into f ta pt.x zz;
+      Modring.add_into f tb pt.x zz;
+      Modring.mul_into f m ta tb;
+      (* M = 3 (X-ZZ)(X+ZZ) *)
+      Modring.double_into f ta m;
+      Modring.add_into f m ta m
+    end
+    else begin
+      Modring.sqr_into f ta pt.x;
+      Modring.double_into f tb ta;
+      Modring.add_into f ta tb ta;
+      (* ta = 3 XX; tb = a * ZZ^2 *)
+      Modring.sqr_into f tb zz;
+      Modring.mul_into f tb cv.ca tb;
+      Modring.add_into f m ta tb
+    end;
+    let x3 = Modring.alloc f and y3 = Modring.alloc f and z3 = Modring.alloc f in
+    (* X3 = M^2 - 2S *)
+    Modring.sqr_into f x3 m;
+    Modring.double_into f td s;
+    Modring.sub_into f x3 x3 td;
+    (* Y3 = M (S - X3) - 8 YYYY *)
+    Modring.sub_into f td s x3;
+    Modring.mul_into f y3 m td;
+    Modring.double_into f yyyy yyyy;
+    Modring.double_into f yyyy yyyy;
+    Modring.double_into f yyyy yyyy;
+    Modring.sub_into f y3 y3 yyyy;
+    (* Z3 = 2 Y Z *)
+    Modring.double_into f yy pt.y;
+    Modring.mul_into f z3 yy pt.z;
     { x = x3; y = y3; z = z3 }
   end
 
-(* General Jacobian addition ("add-2007-bl" style). *)
+(* General Jacobian addition ("add-2007-bl" style), scratch-resident like
+   [double].  The doubling fallback may clobber the same scratch slots;
+   that is fine because its result is returned directly. *)
 let add cv p1 p2 =
   if is_infinity cv p1 then p2
   else if is_infinity cv p2 then p1
   else begin
     let f = cv.fp in
-    let z1z1 = Modring.sqr f p1.z in
-    let z2z2 = Modring.sqr f p2.z in
-    let u1 = Modring.mul f p1.x z2z2 in
-    let u2 = Modring.mul f p2.x z1z1 in
-    let s1 = Modring.mul f p1.y (Modring.mul f p2.z z2z2) in
-    let s2 = Modring.mul f p2.y (Modring.mul f p1.z z1z1) in
+    let sc = Domain.DLS.get cv.scratch in
+    let z1z1 = sc.(0) and z2z2 = sc.(1) and u1 = sc.(2) and u2 = sc.(3) in
+    let s1 = sc.(4) and s2 = sc.(5) and t = sc.(6) in
+    Modring.sqr_into f z1z1 p1.z;
+    Modring.sqr_into f z2z2 p2.z;
+    Modring.mul_into f u1 p1.x z2z2;
+    Modring.mul_into f u2 p2.x z1z1;
+    Modring.mul_into f t p2.z z2z2;
+    Modring.mul_into f s1 p1.y t;
+    Modring.mul_into f t p1.z z1z1;
+    Modring.mul_into f s2 p2.y t;
     if Modring.equal f u1 u2 then begin
       if Modring.equal f s1 s2 then double cv p1 else infinity cv
     end
     else begin
       Ppgr_exec.Meter.incr cv.ops;
-      let h = Modring.sub f u2 u1 in
-      let i = Modring.sqr f (Modring.double f h) in
-      let j = Modring.mul f h i in
-      let r = Modring.double f (Modring.sub f s2 s1) in
-      let v = Modring.mul f u1 i in
-      let x3 =
-        Modring.sub f (Modring.sub f (Modring.sqr f r) j) (Modring.double f v)
-      in
-      let y3 =
-        Modring.sub f
-          (Modring.mul f r (Modring.sub f v x3))
-          (Modring.double f (Modring.mul f s1 j))
-      in
-      let z3 =
-        Modring.mul f
-          (Modring.sub f
-             (Modring.sub f (Modring.sqr f (Modring.add f p1.z p2.z)) z1z1)
-             z2z2)
-          h
-      in
+      let h = sc.(7) and i = sc.(8) and r = sc.(9) and v = sc.(10) and j = sc.(11) in
+      Modring.sub_into f h u2 u1;
+      (* I = (2H)^2, J = H I *)
+      Modring.double_into f i h;
+      Modring.sqr_into f i i;
+      Modring.mul_into f j h i;
+      (* R = 2 (S2 - S1), V = U1 I *)
+      Modring.sub_into f r s2 s1;
+      Modring.double_into f r r;
+      Modring.mul_into f v u1 i;
+      let x3 = Modring.alloc f and y3 = Modring.alloc f and z3 = Modring.alloc f in
+      (* X3 = R^2 - J - 2V *)
+      Modring.sqr_into f x3 r;
+      Modring.sub_into f x3 x3 j;
+      Modring.double_into f t v;
+      Modring.sub_into f x3 x3 t;
+      (* Y3 = R (V - X3) - 2 S1 J *)
+      Modring.sub_into f t v x3;
+      Modring.mul_into f y3 r t;
+      Modring.mul_into f t s1 j;
+      Modring.double_into f t t;
+      Modring.sub_into f y3 y3 t;
+      (* Z3 = ((Z1 + Z2)^2 - Z1Z1 - Z2Z2) H *)
+      Modring.add_into f t p1.z p2.z;
+      Modring.sqr_into f t t;
+      Modring.sub_into f t t z1z1;
+      Modring.sub_into f t t z2z2;
+      Modring.mul_into f z3 t h;
       { x = x3; y = y3; z = z3 }
     end
   end
@@ -324,9 +367,16 @@ let equal cv p1 p2 =
   | true, false | false, true -> false
   | false, false ->
       let f = cv.fp in
-      let z1z1 = Modring.sqr f p1.z in
-      let z2z2 = Modring.sqr f p2.z in
-      Modring.equal f (Modring.mul f p1.x z2z2) (Modring.mul f p2.x z1z1)
-      && Modring.equal f
-           (Modring.mul f p1.y (Modring.mul f p2.z z2z2))
-           (Modring.mul f p2.y (Modring.mul f p1.z z1z1))
+      let sc = Domain.DLS.get cv.scratch in
+      let z1z1 = sc.(0) and z2z2 = sc.(1) and a = sc.(2) and b = sc.(3) and t = sc.(4) in
+      Modring.sqr_into f z1z1 p1.z;
+      Modring.sqr_into f z2z2 p2.z;
+      Modring.mul_into f a p1.x z2z2;
+      Modring.mul_into f b p2.x z1z1;
+      Modring.equal f a b
+      &&
+      (Modring.mul_into f t p2.z z2z2;
+       Modring.mul_into f a p1.y t;
+       Modring.mul_into f t p1.z z1z1;
+       Modring.mul_into f b p2.y t;
+       Modring.equal f a b)

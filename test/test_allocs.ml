@@ -1,0 +1,67 @@
+(* Allocation regression gate for the in-place bigint fast path.
+
+   The whole point of the 61-bit rewrite is that the Montgomery kernels
+   and the Modring [_into] operations allocate nothing per call once the
+   per-domain scratch is warm; this suite pins that with exact
+   [Gc.minor_words] deltas via [Ppgr_obs.Allocs].  A regression that
+   sneaks a box or a fresh array into a kernel fails here, not in a
+   benchmark three PRs later. *)
+
+open Ppgr_bigint
+module Allocs = Ppgr_obs.Allocs
+
+let p1024 = Ppgr_group.Modp_params.p_1024
+let c = Bigint.Modring.ctx ~modulus:p1024
+
+let x =
+  Bigint.Modring.enter c
+    (Bigint.of_string
+       "0xfeedfacecafebeef00112233445566778899aabbccddeeff0123456789abcdef")
+
+let y = Bigint.Modring.enter c (Bigint.sub p1024 (Bigint.of_int 987654321))
+
+let check_zero name f =
+  Alcotest.test_case name `Quick (fun () ->
+      let s = Allocs.measure ~warmup:8 ~iters:200 f in
+      if not (Allocs.is_alloc_free s) then
+        Alcotest.failf "%s allocates: %s" name (Format.asprintf "%a" Allocs.pp s))
+
+let zero_alloc_tests =
+  let d = Bigint.Modring.alloc c in
+  [
+    check_zero "mont mul_into is allocation-free" (fun () -> Bigint.Modring.mul_into c d x y);
+    check_zero "mont sqr_into is allocation-free" (fun () -> Bigint.Modring.sqr_into c d x);
+    check_zero "add_into is allocation-free" (fun () -> Bigint.Modring.add_into c d x y);
+    check_zero "sub_into is allocation-free" (fun () -> Bigint.Modring.sub_into c d x y);
+    check_zero "neg_into is allocation-free" (fun () -> Bigint.Modring.neg_into c d y);
+    check_zero "double_into is allocation-free" (fun () -> Bigint.Modring.double_into c d y);
+    check_zero "copy_into is allocation-free" (fun () -> Bigint.Modring.copy_into c d x);
+  ]
+
+(* powmod allocates only its escaping result: the per-call figure must
+   not grow with the exponent (the window table, accumulator and
+   conversion temporaries all live in ctx scratch). *)
+let powmod_tests =
+  [
+    Alcotest.test_case "powmod allocation is independent of exponent size" `Quick (fun () ->
+        let base = Bigint.of_string "0x1234567890abcdef1234567890abcdef" in
+        let e_small = Bigint.pred (Bigint.nth_bit_weight 64) in
+        let e_big = Bigint.pred (Bigint.nth_bit_weight 1024) in
+        let run e = Allocs.measure ~warmup:3 ~iters:20 (fun () -> ignore (Bigint.powmod base e p1024)) in
+        let s_small = run e_small and s_big = run e_big in
+        Alcotest.(check (float 0.01))
+          "words/call equal for 64-bit and 1024-bit exponents"
+          s_small.Allocs.words_per_iter s_big.Allocs.words_per_iter;
+        (* Result magnitude + sign wrapper and nothing else: a couple of
+           dozen words at 1024 bits, not thousands. *)
+        Alcotest.(check bool) "powmod result allocation is small" true
+          (s_big.Allocs.words_per_iter < 128.));
+    Alcotest.test_case "probe detects allocation when present" `Quick (fun () ->
+        (* Sanity-check the probe itself: an allocating loop must not
+           report zero. *)
+        let sink = ref Bigint.zero in
+        let s = Allocs.measure ~iters:50 (fun () -> sink := Bigint.add !sink Bigint.one) in
+        Alcotest.(check bool) "allocating loop detected" false (Allocs.is_alloc_free s));
+  ]
+
+let () = Alcotest.run "allocs" [ ("zero-alloc", zero_alloc_tests); ("powmod", powmod_tests) ]
