@@ -96,6 +96,14 @@ let ediv_rem a b =
 
 let erem a b = snd (ediv_rem a b)
 
+(* Canonical-range test [0 <= v < m], allocation-free: a sign check plus
+   one magnitude compare (which itself starts with a limb-width
+   compare).  The group layer's exponent paths use it to skip the
+   [erem] division entirely when the exponent is already reduced —
+   which in protocol code is almost always, since scalars are sampled
+   in [[1, q-1]] to begin with. *)
+let in_range v m = v.sg >= 0 && (v.sg = 0 || Mag.compare v.mg m.mg < 0)
+
 let is_even v = Mag.is_zero v.mg || v.mg.(0) land 1 = 0
 let is_odd v = not (is_even v)
 
@@ -235,6 +243,10 @@ module Mont = struct
     tbl : int array array; (* 16 x w: powmod window table *)
     acc : int array; (* w: powmod accumulator *)
     bm : int array; (* w: powmod base in Montgomery form *)
+    iu : int array; (* w + 1: binary-inversion working value *)
+    iv : int array; (* w + 1: binary-inversion working value *)
+    ix1 : int array; (* w + 1: binary-inversion cofactor *)
+    ix2 : int array; (* w + 1: binary-inversion cofactor *)
   }
 
   type ctx = {
@@ -246,6 +258,7 @@ module Mont = struct
     r2 : int array; (* R^2 mod m, R = 2^(61w); w limbs *)
     one_m : int array; (* R mod m: Montgomery form of 1; w limbs *)
     one_p : int array; (* plain 1, padded to w limbs *)
+    mp : int array; (* modulus padded to w + 1 limbs (inversion width) *)
     scratch : scratch Domain.DLS.key;
   }
 
@@ -281,8 +294,14 @@ module Mont = struct
             tbl = Array.init 16 (fun _ -> Array.make w 0);
             acc = Array.make w 0;
             bm = Array.make w 0;
+            iu = Array.make (w + 1) 0;
+            iv = Array.make (w + 1) 0;
+            ix1 = Array.make (w + 1) 0;
+            ix2 = Array.make (w + 1) 0;
           })
     in
+    let mp = Array.make (w + 1) 0 in
+    Array.blit m 0 mp 0 w;
     {
       m;
       w;
@@ -292,6 +311,7 @@ module Mont = struct
       r2;
       one_m;
       one_p = pad (Mag.of_int 1);
+      mp;
       scratch;
     }
 
@@ -497,6 +517,121 @@ module Mont = struct
     mont_mul_into ctx dst a b;
     dst
 
+  (* ---- Allocation-free modular inversion: binary extended gcd. ----
+
+     HAC 14.61 specialised to an odd modulus, run entirely in the four
+     (w+1)-limb scratch buffers: halvings, compares and subtractions on
+     little-endian limb vectors, with the cofactors kept in [0, m) by
+     adding the modulus before an odd halving or after an underflowing
+     subtraction.  ~2·numbits(m) iterations of O(w) limb work — the
+     same ballpark as the old Euclidean [invmod] but with zero heap
+     traffic, which is what lets the group layer's signed-digit
+     exponentiation keep its lazy inverse cache allocation-free.
+
+     The helpers below are closure-free plain loops (see the finish
+     comment: this path must not allocate). *)
+
+  let buf_is_zero (a : int array) len =
+    let i = ref 0 in
+    while !i < len && a.(!i) = 0 do
+      incr i
+    done;
+    !i = len
+
+  let buf_is_one (a : int array) len =
+    a.(0) = 1
+    &&
+    let i = ref 1 in
+    while !i < len && a.(!i) = 0 do
+      incr i
+    done;
+    !i = len
+
+  (* a >>= 1 (little-endian). *)
+  let buf_shr1 (a : int array) len =
+    for i = 0 to len - 2 do
+      Array.unsafe_set a i
+        ((Array.unsafe_get a i lsr 1)
+        lor ((Array.unsafe_get a (i + 1) land 1) lsl (Mag.base_bits - 1)))
+    done;
+    a.(len - 1) <- a.(len - 1) lsr 1
+
+  let buf_cmp (a : int array) (b : int array) len =
+    let i = ref (len - 1) in
+    while !i >= 0 && a.(!i) = b.(!i) do
+      decr i
+    done;
+    if !i < 0 then 0 else Stdlib.compare a.(!i) b.(!i)
+
+  (* a += b; the caller guarantees the sum fits in [len] limbs. *)
+  let buf_add (a : int array) (b : int array) len =
+    let carry = ref 0 in
+    for i = 0 to len - 1 do
+      let s = Array.unsafe_get a i + Array.unsafe_get b i + !carry in
+      Array.unsafe_set a i (s land Mag.mask);
+      carry := s lsr Mag.base_bits
+    done
+
+  (* a -= b; the caller guarantees a >= b. *)
+  let buf_sub (a : int array) (b : int array) len =
+    let borrow = ref 0 in
+    for i = 0 to len - 1 do
+      let d = Array.unsafe_get a i - Array.unsafe_get b i - !borrow in
+      Array.unsafe_set a i (d land Mag.mask);
+      borrow := (d lsr Mag.base_bits) land 1
+    done
+
+  (* dst := a^{-1} in the Montgomery domain ([a] and [dst] are
+     Montgomery forms, [dst] may alias [a]).  The binary xgcd inverts
+     the plain limb value v = aR mod m, giving a^{-1}R^{-2} (mod m) up
+     to Montgomery scaling; two multiplications by R^2 rescale it to
+     the Montgomery form of a^{-1}.
+     @raise Division_by_zero if [a] is not invertible. *)
+  let inv_into ctx (dst : int array) (a : int array) =
+    let w = ctx.w in
+    let len = w + 1 in
+    let s = Domain.DLS.get ctx.scratch in
+    let u = s.iu and v = s.iv and x1 = s.ix1 and x2 = s.ix2 in
+    Array.blit a 0 u 0 w;
+    u.(w) <- 0;
+    Array.blit ctx.m 0 v 0 w;
+    v.(w) <- 0;
+    Array.fill x1 0 len 0;
+    x1.(0) <- 1;
+    Array.fill x2 0 len 0;
+    if buf_is_zero u len then raise Division_by_zero;
+    while (not (buf_is_one u len)) && not (buf_is_one v len) do
+      (* A common factor > 1 drives one value to zero without either
+         reaching one: not invertible. *)
+      if buf_is_zero u len || buf_is_zero v len then raise Division_by_zero;
+      while u.(0) land 1 = 0 do
+        buf_shr1 u len;
+        if x1.(0) land 1 = 1 then buf_add x1 ctx.mp len;
+        buf_shr1 x1 len
+      done;
+      while v.(0) land 1 = 0 do
+        buf_shr1 v len;
+        if x2.(0) land 1 = 1 then buf_add x2 ctx.mp len;
+        buf_shr1 x2 len
+      done;
+      if buf_cmp u v len >= 0 then begin
+        buf_sub u v len;
+        if buf_cmp x1 x2 len < 0 then buf_add x1 ctx.mp len;
+        buf_sub x1 x2 len
+      end
+      else begin
+        buf_sub v u len;
+        if buf_cmp x2 x1 len < 0 then buf_add x2 ctx.mp len;
+        buf_sub x2 x1 len
+      end
+    done;
+    let r = if buf_is_one u len then x1 else x2 in
+    (* r = (aR)^{-1} = a^{-1} R^{-1}; two R^2 rescalings land a^{-1} R.
+       The kernels read exactly w limbs, so the (w+1)-limb buffer with
+       its zero top limb is a valid operand. *)
+    mont_mul_into ctx dst r ctx.r2;
+    mont_mul_into ctx dst dst ctx.r2
+
   let to_mont ctx a = mont_mul ctx (pad ctx a) ctx.r2
   let from_mont ctx a = Mag.normalize (mont_mul ctx a ctx.one_p)
 
@@ -533,9 +668,16 @@ module Mont = struct
         in
         if d > 0 then mont_mul_into ctx acc acc s.tbl.(d)
       done;
-      let out = Array.make ctx.w 0 in
-      mont_mul_into ctx out acc ctx.one_p;
-      Mag.normalize out
+      (* Demont into [s.bm] (dead once the window table is built) and
+         copy out at exact width: the escaping result is the single
+         allocation of the whole call, already normalized, instead of
+         a w-limb temporary plus a trimmed [Mag.normalize] copy. *)
+      mont_mul_into ctx s.bm acc ctx.one_p;
+      let top = ref (ctx.w - 1) in
+      while !top >= 0 && s.bm.(!top) = 0 do
+        decr top
+      done;
+      Array.sub s.bm 0 (!top + 1)
     end
 end
 
@@ -543,23 +685,36 @@ end
    run hit the same handful of moduli thousands of times.  The cache is
    shared across domains (parallel Miller-Rabin rounds hit it), so the
    Hashtbl hides behind a mutex; the lock cost is noise next to even one
-   Montgomery multiplication at cryptographic sizes. *)
+   Montgomery multiplication at cryptographic sizes.
+
+   In front of the Hashtbl sits a lock-free single-entry cache: a
+   protocol run exponentiates against one modulus millions of times in a
+   row, and the old path paid a hex-string key allocation plus a mutex
+   round-trip per call.  The hot hit is a physical-equality check on the
+   magnitude (the group keeps one [t] for its modulus, so [m.mg] is
+   pointer-stable), with a limb compare as fallback for equal values
+   from different allocations. *)
 let mont_cache : (string, Mont.ctx) Hashtbl.t = Hashtbl.create 8
 let mont_cache_lock = Mutex.create ()
+let mont_last : (int array * Mont.ctx) option Atomic.t = Atomic.make None
 
 let mont_ctx_for (m : int array) =
-  let key = Mag.to_string_hex m in
-  Mutex.lock mont_cache_lock;
-  let ctx =
-    match Hashtbl.find_opt mont_cache key with
-    | Some ctx -> ctx
-    | None ->
-        let ctx = Mont.create m in
-        Hashtbl.add mont_cache key ctx;
-        ctx
-  in
-  Mutex.unlock mont_cache_lock;
-  ctx
+  match Atomic.get mont_last with
+  | Some (key, ctx) when key == m || Mag.compare key m = 0 -> ctx
+  | _ ->
+      let key = Mag.to_string_hex m in
+      Mutex.lock mont_cache_lock;
+      let ctx =
+        match Hashtbl.find_opt mont_cache key with
+        | Some ctx -> ctx
+        | None ->
+            let ctx = Mont.create m in
+            Hashtbl.add mont_cache key ctx;
+            ctx
+      in
+      Mutex.unlock mont_cache_lock;
+      Atomic.set mont_last (Some (m, ctx));
+      ctx
 
 let powmod_generic b e m =
   (* Square-and-multiply with explicit reduction; used for even moduli. *)
@@ -578,7 +733,9 @@ let powmod b e m =
   if equal m one then zero
   else if is_odd m && numbits m > 1 then begin
     let ctx = mont_ctx_for m.mg in
-    let b = erem b m in
+    (* Canonical-base fast path: protocol callers already hand over
+       residues in [0, m), so the euclidean division is skipped. *)
+    let b = if in_range b m then b else erem b m in
     make 1 (Mont.powmod ctx b.mg e.mg)
   end
   else powmod_generic b e m
@@ -638,6 +795,9 @@ module Modring = struct
   let copy_into (_ : ctx) (dst : elt) (src : elt) =
     Array.blit src 0 dst 0 (Array.length src)
 
+  let zero_into c (dst : elt) = Array.fill dst 0 c.mc.Mont.w 0
+  let one_into c (dst : elt) = Array.blit c.mc.Mont.one_m 0 dst 0 c.mc.Mont.w
+
   let equal (_ : ctx) (a : elt) (b : elt) = a = b
 
   let is_zero (_ : ctx) (a : elt) =
@@ -649,6 +809,14 @@ module Modring = struct
       incr i
     done;
     !i = n
+
+  let is_one c (a : elt) =
+    let o = c.mc.Mont.one_m in
+    let i = ref (c.mc.Mont.w - 1) in
+    while !i >= 0 && a.(!i) = o.(!i) do
+      decr i
+    done;
+    !i < 0
 
   (* Compare a padded array against the modulus limbs, closure-free. *)
   let ge_mod c (a : elt) =
@@ -766,7 +934,10 @@ module Modring = struct
     done;
     !acc
 
-  let inv c (a : elt) =
-    let v = leave c a in
-    enter c (invmod v c.m_big)
+  let inv_into c (dst : elt) (a : elt) = Mont.inv_into c.mc dst a
+
+  let inv c (a : elt) : elt =
+    let r = alloc c in
+    inv_into c r a;
+    r
 end

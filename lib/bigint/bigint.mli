@@ -82,6 +82,13 @@ val ediv_rem : t -> t -> t * t
 val erem : t -> t -> t
 (** Euclidean (non-negative) remainder. *)
 
+val in_range : t -> t -> bool
+(** [in_range v m] is [0 <= v < m] — whether [v] is already a canonical
+    residue mod [m], i.e. [erem v m] would return [v] unchanged.
+    Allocation-free (sign test plus one magnitude compare); the group
+    layer uses it to skip the Euclidean division on already-reduced
+    exponents and bases. *)
+
 val add_int : t -> int -> t
 val mul_int : t -> int -> t
 
@@ -190,6 +197,8 @@ module Modring : sig
   val copy_into : ctx -> elt -> elt -> unit
   (** [copy_into c dst src] overwrites [dst] with the value of [src]. *)
 
+  val zero_into : ctx -> elt -> unit
+  val one_into : ctx -> elt -> unit
   val add_into : ctx -> elt -> elt -> elt -> unit
   val sub_into : ctx -> elt -> elt -> elt -> unit
   val neg_into : ctx -> elt -> elt -> unit
@@ -197,11 +206,17 @@ module Modring : sig
   val mul_into : ctx -> elt -> elt -> elt -> unit
   val sqr_into : ctx -> elt -> elt -> unit
 
+  val inv_into : ctx -> elt -> elt -> unit
+  (** Allocation-free modular inversion (binary extended gcd on
+      per-domain scratch); [dst] may alias the operand.
+      @raise Division_by_zero if not invertible. *)
+
   val inv : ctx -> elt -> elt
   (** @raise Division_by_zero if not invertible. *)
 
   val equal : ctx -> elt -> elt -> bool
   val is_zero : ctx -> elt -> bool
+  val is_one : ctx -> elt -> bool
   val double : ctx -> elt -> elt
   val mul_small : ctx -> elt -> int -> elt
   (** Multiply by a small non-negative integer constant. *)

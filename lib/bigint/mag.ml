@@ -81,16 +81,19 @@ let to_int_opt (a : int array) =
     Some !v
   end
 
+(* Explicit loop: a local [let rec] closure heap-allocates on every
+   call, and this sits on the group layer's zero-allocation fast path
+   (the canonical-exponent [in_range] test runs one compare per
+   exponentiation). *)
 let compare (a : int array) (b : int array) =
   let la = Array.length a and lb = Array.length b in
   if la <> lb then Stdlib.compare la lb
   else begin
-    let rec go i =
-      if i < 0 then 0
-      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
-      else go (i - 1)
-    in
-    go (la - 1)
+    let i = ref (la - 1) in
+    while !i >= 0 && a.(!i) = b.(!i) do
+      decr i
+    done;
+    if !i < 0 then 0 else Stdlib.compare a.(!i) b.(!i)
   end
 
 let equal a b = compare a b = 0

@@ -55,36 +55,105 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
     Ppgr_exec.Meter.incr ops;
     Bigint.Modring.sqr ring x
 
+  (* Per-domain exponentiation scratch (DESIGN.md §5h): the wNAF odd-
+     powers tables, their lazily-filled inverse caches, the accumulator
+     and the recoding digit buffers all live here, so a steady-state
+     [pow]/[pow2]/[pow_table] allocates nothing but its escaping result.
+     Two table slots because [pow2] runs two bases down one shared
+     squaring chain.  The digit buffers take one slot per exponent bit
+     plus slack for the recoding's possible carry digit. *)
+  type scratch = {
+    acc : element;
+    x2 : element;
+    odd : element array; (* x^1, x^3, x^5, x^7 *)
+    oddinv : element array;
+    mutable inv_mask : int; (* bit i set = oddinv.(i) is valid *)
+    odd2 : element array;
+    oddinv2 : element array;
+    mutable inv_mask2 : int;
+    dg : int array;
+    dg2 : int array;
+  }
+
+  let digit_slots = Bigint.numbits order + 8
+
+  let scratch : scratch Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        let elts n = Array.init n (fun _ -> Bigint.Modring.alloc ring) in
+        {
+          acc = Bigint.Modring.alloc ring;
+          x2 = Bigint.Modring.alloc ring;
+          odd = elts 4;
+          oddinv = elts 4;
+          inv_mask = 0;
+          odd2 = elts 4;
+          oddinv2 = elts 4;
+          inv_mask2 = 0;
+          dg = Array.make digit_slots 0;
+          dg2 = Array.make digit_slots 0;
+        })
+
+  (* Build the odd-powers table x^1,x^3,x^5,x^7 into [tbl], using [s.x2]
+     as the x^2 temporary.  Tick parity with the old per-call table:
+     1 squaring + 3 multiplications. *)
+  let fill_odd s (tbl : element array) x =
+    Ppgr_exec.Meter.incr ops;
+    Bigint.Modring.sqr_into ring s.x2 x;
+    Bigint.Modring.copy_into ring tbl.(0) x;
+    for i = 1 to 3 do
+      Ppgr_exec.Meter.incr ops;
+      Bigint.Modring.mul_into ring tbl.(i) tbl.(i - 1) s.x2
+    done
+
+  (* Multiply the table entry for wNAF digit [d] (non-zero) into the
+     accumulator, inverting lazily into the cache slot on first negative
+     use — at most 4 inversions per exponentiation, each ticking the
+     meter once, exactly like the old [inv_odd] option cache. *)
+  let mix_digit s (tbl : element array) (invtbl : element array) ~second d =
+    if d > 0 then begin
+      Ppgr_exec.Meter.incr ops;
+      Bigint.Modring.mul_into ring s.acc s.acc tbl.(d / 2)
+    end
+    else begin
+      let i = -d / 2 in
+      let mask = if second then s.inv_mask2 else s.inv_mask in
+      if mask land (1 lsl i) = 0 then begin
+        Ppgr_exec.Meter.incr ops;
+        Bigint.Modring.inv_into ring invtbl.(i) tbl.(i);
+        if second then s.inv_mask2 <- mask lor (1 lsl i)
+        else s.inv_mask <- mask lor (1 lsl i)
+      end;
+      Ppgr_exec.Meter.incr ops;
+      Bigint.Modring.mul_into ring s.acc s.acc invtbl.(i)
+    end
+
+  (* Copy the scratch accumulator out as the (sole) escaping allocation. *)
+  let escape s =
+    let r = Bigint.Modring.alloc ring in
+    Bigint.Modring.copy_into ring r s.acc;
+    r
+
   let pow_nonneg x e =
     (* wNAF-4 with precomputed odd powers; every group multiplication
        (squarings included) ticks the op counter once — the squarings go
        through the cheaper dedicated squaring kernel. *)
-    let x2 = sqr x in
-    let odd = Array.make 4 x in
-    for i = 1 to 3 do
-      odd.(i) <- mul odd.(i - 1) x2
+    let s = Domain.DLS.get scratch in
+    fill_odd s s.odd x;
+    s.inv_mask <- 0;
+    let len = Group_intf.wnaf4_into e s.dg in
+    Bigint.Modring.one_into ring s.acc;
+    for k = len - 1 downto 0 do
+      Ppgr_exec.Meter.incr ops;
+      Bigint.Modring.sqr_into ring s.acc s.acc;
+      let d = s.dg.(k) in
+      if d <> 0 then mix_digit s s.odd s.oddinv ~second:false d
     done;
-    let digits = Group_intf.wnaf4 e in
-    (* Inverses of table entries are computed lazily, at most once each. *)
-    let inv_cache = Array.make 4 None in
-    let inv_odd i =
-      match inv_cache.(i) with
-      | Some v -> v
-      | None ->
-          let v = inv odd.(i) in
-          inv_cache.(i) <- Some v;
-          v
-    in
-    List.fold_left
-      (fun acc d ->
-        let acc = sqr acc in
-        if d = 0 then acc
-        else if d > 0 then mul acc odd.(d / 2)
-        else mul acc (inv_odd (-d / 2)))
-      identity digits
+    escape s
 
   let pow x e =
-    let e = Bigint.erem e order in
+    (* Canonical-exponent fast path: protocol exponents are already in
+       [0, order), so the Euclidean division is usually skipped. *)
+    let e = if Bigint.in_range e order then e else Bigint.erem e order in
     if Bigint.is_zero e then identity else pow_nonneg x e
 
   (* Fixed-base window table: tbl.(i).(d-1) = x^(d * 2^(w*i)) for
@@ -127,54 +196,65 @@ module Make (P : PARAMS) : Group_intf.GROUP = struct
     tbl
 
   let pow_table tbl e =
-    let e = Bigint.erem e order in
+    let e = if Bigint.in_range e order then e else Bigint.erem e order in
     if Bigint.is_zero e then identity
     else begin
-      let digits = Group_intf.window_digits ~window:table_window e in
-      let acc = ref None in
-      Array.iteri
-        (fun i d ->
-          if d > 0 then
-            let entry = tbl.(i).(d - 1) in
-            acc := Some (match !acc with None -> entry | Some a -> mul a entry))
-        digits;
-      match !acc with None -> identity | Some a -> a
+      (* Window digits read straight off the exponent bits and the
+         product accumulated in scratch: the old version allocated a
+         digit array (one boxed bigint per nibble) plus a [Some] per
+         non-zero digit.  Tick parity: one multiplication per non-zero
+         digit after the first. *)
+      let s = Domain.DLS.get scratch in
+      let nb = Bigint.numbits e in
+      let n = (nb + table_window - 1) / table_window in
+      let started = ref false in
+      for i = 0 to n - 1 do
+        let b = i * table_window in
+        let d =
+          (if Bigint.testbit e b then 1 else 0)
+          lor (if Bigint.testbit e (b + 1) then 2 else 0)
+          lor (if Bigint.testbit e (b + 2) then 4 else 0)
+          lor if Bigint.testbit e (b + 3) then 8 else 0
+        in
+        if d > 0 then begin
+          let entry = tbl.(i).(d - 1) in
+          if !started then begin
+            Ppgr_exec.Meter.incr ops;
+            Bigint.Modring.mul_into ring s.acc s.acc entry
+          end
+          else begin
+            Bigint.Modring.copy_into ring s.acc entry;
+            started := true
+          end
+        end
+      done;
+      if !started then escape s else identity
     end
 
   (* Shamir's trick: one shared squaring chain over the aligned wNAF-4
-     recodings of both exponents. *)
+     recodings of both exponents, both odd-powers tables in scratch. *)
   let pow2 a e b f =
-    let e = Bigint.erem e order and f = Bigint.erem f order in
+    let e = if Bigint.in_range e order then e else Bigint.erem e order
+    and f = if Bigint.in_range f order then f else Bigint.erem f order in
     if Bigint.is_zero e then pow b f
     else if Bigint.is_zero f then pow a e
     else begin
-      let odd_of x =
-        let x2 = sqr x in
-        let t = Array.make 4 x in
-        for i = 1 to 3 do
-          t.(i) <- mul t.(i - 1) x2
-        done;
-        t
-      in
-      let ta = odd_of a and tb = odd_of b in
-      let ia = Array.make 4 None and ib = Array.make 4 None in
-      let inv_odd t cache i =
-        match cache.(i) with
-        | Some v -> v
-        | None ->
-            let v = inv t.(i) in
-            cache.(i) <- Some v;
-            v
-      in
-      let mix acc t cache d =
-        if d = 0 then acc
-        else if d > 0 then mul acc t.(d / 2)
-        else mul acc (inv_odd t cache (-d / 2))
-      in
-      List.fold_left
-        (fun acc (da, db) -> mix (mix (sqr acc) ta ia da) tb ib db)
-        identity
-        (Group_intf.wnaf4_pair e f)
+      let s = Domain.DLS.get scratch in
+      fill_odd s s.odd a;
+      s.inv_mask <- 0;
+      fill_odd s s.odd2 b;
+      s.inv_mask2 <- 0;
+      let len = Group_intf.wnaf4_pair_into e f s.dg s.dg2 in
+      Bigint.Modring.one_into ring s.acc;
+      for k = len - 1 downto 0 do
+        Ppgr_exec.Meter.incr ops;
+        Bigint.Modring.sqr_into ring s.acc s.acc;
+        let da = s.dg.(k) in
+        if da <> 0 then mix_digit s s.odd s.oddinv ~second:false da;
+        let db = s.dg2.(k) in
+        if db <> 0 then mix_digit s s.odd2 s.oddinv2 ~second:true db
+      done;
+      escape s
     end
 
   (* Double-checked mutex memo: [Lazy.force] is unsafe under concurrent

@@ -125,6 +125,74 @@ let wnaf4 (e : Bigint.t) : int list =
   done;
   !digits
 
+(** Allocation-free wNAF-4 recoding into a caller buffer: writes the
+    digits of [wnaf4 e] into [dst] LEAST significant first and returns
+    the digit count.  [dst] must hold at least [Bigint.numbits e + 1]
+    entries (a negative top digit can push one carry digit past the
+    bit length).
+
+    The list recoding above repeatedly subtracts the centered remainder
+    and halves a shrinking bigint; here the still-unconsumed value is
+    represented as [(e >> i) + c] for a small int carry [c], so each
+    step needs only [Bigint.testbit].  The carry is bounded: |c'| <=
+    (1 + |c| + 7) / 2, which from 0 climbs no higher than 7, so while
+    [i < numbits e - 4] the true value [(e >> i) + c >= 16 - 7 > 0] and
+    the list version could not have terminated yet.  The final <= 4 top
+    bits plus carry fit a native int and finish in a plain small-int
+    loop, which also supplies the exact termination condition (value =
+    0) — a naive "run to the top bit" loop would emit spurious trailing
+    zero digits and break digit-count parity with {!wnaf4}. *)
+let wnaf4_into (e : Bigint.t) (dst : int array) : int =
+  if Bigint.sign e < 0 then invalid_arg "wnaf4_into: negative exponent";
+  let nb = Bigint.numbits e in
+  let n = ref 0 in
+  let c = ref 0 in
+  let i = ref 0 in
+  while !i < nb - 4 do
+    let b0 = if Bigint.testbit e !i then 1 else 0 in
+    if (b0 + !c) land 1 = 0 then begin
+      dst.(!n) <- 0;
+      c := (b0 + !c) asr 1
+    end
+    else begin
+      let low4 =
+        b0
+        lor (if Bigint.testbit e (!i + 1) then 2 else 0)
+        lor (if Bigint.testbit e (!i + 2) then 4 else 0)
+        lor if Bigint.testbit e (!i + 3) then 8 else 0
+      in
+      let m = (low4 + !c) land 15 in
+      let d = if m >= 8 then m - 16 else m in
+      dst.(!n) <- d;
+      c := (b0 + !c - d) asr 1
+    end;
+    incr n;
+    incr i
+  done;
+  (* Remaining value (e >> i) + c fits a native int: materialize and
+     finish small. *)
+  let top = ref 0 in
+  let j = ref (nb - 1) in
+  while !j >= !i do
+    top := (!top lsl 1) lor if Bigint.testbit e !j then 1 else 0;
+    decr j
+  done;
+  let r = ref (!top + !c) in
+  while !r <> 0 do
+    if !r land 1 = 1 then begin
+      let m = !r land 15 in
+      let d = if m >= 8 then m - 16 else m in
+      dst.(!n) <- d;
+      r := (!r - d) asr 1
+    end
+    else begin
+      dst.(!n) <- 0;
+      r := !r asr 1
+    end;
+    incr n
+  done;
+  !n
+
 (** Aligned wNAF-4 recodings of two non-negative exponents, most
     significant first, for Shamir's simultaneous exponentiation: the
     shorter recoding is left-padded with zero digits so one squaring
@@ -134,6 +202,18 @@ let wnaf4_pair e f =
   let la = List.length da and lb = List.length db in
   let pad k l = if k <= 0 then l else List.init k (fun _ -> 0) @ l in
   List.combine (pad (lb - la) da) (pad (la - lb) db)
+
+(** Allocation-free {!wnaf4_pair}: recodes both exponents into the two
+    caller buffers (least significant first, as {!wnaf4_into}), zero-
+    fills the shorter one up to the longer, and returns the shared
+    length.  Zero-filling high slots is exactly the left-padding of the
+    list version read in reverse. *)
+let wnaf4_pair_into e f (da : int array) (db : int array) : int =
+  let la = wnaf4_into e da and lb = wnaf4_into f db in
+  let len = Stdlib.max la lb in
+  Array.fill da la (len - la) 0;
+  Array.fill db lb (len - lb) 0;
+  len
 
 (** The window width shared by both families' fixed-base tables. *)
 let fixed_base_window = 4

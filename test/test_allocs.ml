@@ -52,10 +52,17 @@ let powmod_tests =
         Alcotest.(check (float 0.01))
           "words/call equal for 64-bit and 1024-bit exponents"
           s_small.Allocs.words_per_iter s_big.Allocs.words_per_iter;
-        (* Result magnitude + sign wrapper and nothing else: a couple of
-           dozen words at 1024 bits, not thousands. *)
+        (* Result magnitude (17 limbs + header) + sign wrapper and
+           nothing else. *)
         Alcotest.(check bool) "powmod result allocation is small" true
-          (s_big.Allocs.words_per_iter < 128.));
+          (s_big.Allocs.words_per_iter < 32.));
+    Alcotest.test_case "mont inv_into is allocation-free" `Quick (fun () ->
+        let d = Bigint.Modring.alloc c in
+        let s =
+          Allocs.measure ~warmup:8 ~iters:50 (fun () -> Bigint.Modring.inv_into c d x)
+        in
+        if not (Allocs.is_alloc_free s) then
+          Alcotest.failf "inv_into allocates: %s" (Format.asprintf "%a" Allocs.pp s));
     Alcotest.test_case "probe detects allocation when present" `Quick (fun () ->
         (* Sanity-check the probe itself: an allocating loop must not
            report zero. *)
@@ -64,4 +71,65 @@ let powmod_tests =
         Alcotest.(check bool) "allocating loop detected" false (Allocs.is_alloc_free s));
   ]
 
-let () = Alcotest.run "allocs" [ ("zero-alloc", zero_alloc_tests); ("powmod", powmod_tests) ]
+(* Group layer (PR 7): steady-state exponentiations allocate exactly
+   their escaping result — the wNAF tables, inverse caches, recoding
+   buffers and accumulators all live in per-domain scratch.  The pinned
+   figures are the result object's own size:
+   - DL-1024 element: 17 Montgomery limbs + array header = 18 words;
+   - ECC-160 point: record (3 fields + header) + three 3-limb field
+     elements (3 + header each) = 16 words. *)
+let check_exact name expected f =
+  Alcotest.test_case name `Quick (fun () ->
+      let s = Allocs.measure ~warmup:8 ~iters:50 f in
+      Alcotest.(check (float 0.01))
+        (Printf.sprintf "%s allocates exactly %.0f words/op" name expected)
+        expected s.Allocs.words_per_iter)
+
+let group_tests =
+  let rng = Ppgr_rng.Rng.create ~seed:"test-allocs-group" in
+  let module G = (val Ppgr_group.Dl_group.dl_1024 ()) in
+  let e = G.random_scalar rng and f = G.random_scalar rng in
+  let gx = G.pow_gen e and gy = G.pow_gen f in
+  let tbl = G.powtable gx in
+  let dl_words = 18.0 in
+  let module E = Ppgr_group.Ec_curve in
+  let cv = E.make_curve Ppgr_group.Ec_params.secp160r1 in
+  let n = cv.E.prm.E.n in
+  let se = Bigint.succ (Ppgr_rng.Rng.bigint_below rng (Bigint.pred n)) in
+  let sf = Bigint.succ (Ppgr_rng.Rng.bigint_below rng (Bigint.pred n)) in
+  let pt = E.scalar_mul cv (E.base_point cv) se in
+  let qt = E.scalar_mul cv (E.base_point cv) sf in
+  let ptbl = E.make_powtable cv pt ~bits:(Bigint.numbits n) in
+  let ec_words = 16.0 in
+  [
+    check_exact "DL-1024 pow allocates result only" dl_words (fun () ->
+        ignore (G.pow gx e));
+    check_exact "DL-1024 pow_table allocates result only" dl_words (fun () ->
+        ignore (G.pow_table tbl e));
+    check_exact "DL-1024 pow2 allocates result only" dl_words (fun () ->
+        ignore (G.pow2 gx e gy f));
+    check_exact "ECC-160 scalar_mul allocates result only" ec_words (fun () ->
+        ignore (E.scalar_mul cv pt se));
+    check_exact "ECC-160 scalar_mul_table allocates result only" ec_words (fun () ->
+        ignore (E.scalar_mul_table cv ptbl se));
+    check_exact "ECC-160 scalar_mul2 allocates result only" ec_words (fun () ->
+        ignore (E.scalar_mul2 cv pt se qt sf));
+    Alcotest.test_case "DL pow allocation is independent of exponent size" `Quick
+      (fun () ->
+        let e_small = Bigint.of_int 3 in
+        let run ex =
+          Allocs.measure ~warmup:8 ~iters:30 (fun () -> ignore (G.pow gx ex))
+        in
+        let s_small = run e_small and s_big = run e in
+        Alcotest.(check (float 0.01))
+          "words/call equal for tiny and full-width exponents"
+          s_small.Allocs.words_per_iter s_big.Allocs.words_per_iter);
+  ]
+
+let () =
+  Alcotest.run "allocs"
+    [
+      ("zero-alloc", zero_alloc_tests);
+      ("powmod", powmod_tests);
+      ("group-alloc", group_tests);
+    ]

@@ -1,0 +1,194 @@
+(* Differential battery for the in-place Jacobian point operations
+   (PR 7) and boundary-exponent behaviour of the group layer.
+
+   The [_into] point ops ([double_into], [add_into], [mixed_add_into],
+   [neg_into]) must agree with their allocating counterparts on every
+   input class — including when the destination aliases an operand, at
+   the point at infinity, and on the P + (-P) cancellation branch.  The
+   exponent paths must agree with a bit-at-a-time square-and-multiply
+   reference at the canonical-range boundary (0, 1, q-1, q, q+1, 2q),
+   which is exactly where the [Bigint.in_range] fast path hands over to
+   [erem]. *)
+
+open Ppgr_bigint
+module E = Ppgr_group.Ec_curve
+
+let prop ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* ---- EC [_into] ops vs allocating ops ---- *)
+
+(* Run the battery on both the toy curve (cheap, so the generators can
+   afford many cases) and the paper's secp160r1. *)
+let ec_into_tests (cv : E.curve) tag count =
+  let n = cv.E.prm.E.n in
+  let base = E.base_point cv in
+  (* k = 0 yields the point at infinity, so the edge branch appears in
+     every generated mix. *)
+  let gen_scalar =
+    QCheck2.Gen.(
+      frequency
+        [
+          (8, map (fun k -> Bigint.of_int k) (int_range 0 1_000_000));
+          (1, return Bigint.zero);
+          (1, return (Bigint.pred n));
+        ])
+  in
+  let pt_of k = E.scalar_mul cv base k in
+  let name s = Printf.sprintf "%s: %s" tag s in
+  [
+    prop ~count (name "double_into matches double (incl. dst = p)") gen_scalar (fun k ->
+        let p = pt_of k in
+        let expect = E.double cv p in
+        let d = E.point_alloc cv in
+        E.double_into cv d p;
+        let fresh_ok = E.equal cv expect d in
+        E.copy_point_into cv d p;
+        E.double_into cv d d;
+        fresh_ok && E.equal cv expect d);
+    prop ~count (name "add_into matches add (incl. aliasing)")
+      QCheck2.Gen.(pair gen_scalar gen_scalar)
+      (fun (j, k) ->
+        let p = pt_of j and q = pt_of k in
+        let expect = E.add cv p q in
+        let d = E.point_alloc cv in
+        E.add_into cv d p q;
+        let fresh_ok = E.equal cv expect d in
+        E.copy_point_into cv d p;
+        E.add_into cv d d q;
+        let alias1_ok = E.equal cv expect d in
+        E.copy_point_into cv d q;
+        E.add_into cv d p d;
+        fresh_ok && alias1_ok && E.equal cv expect d);
+    prop ~count (name "add_into of equal points takes the doubling branch") gen_scalar
+      (fun k ->
+        let p = pt_of k in
+        let d = E.point_alloc cv in
+        E.add_into cv d p p;
+        E.equal cv (E.double cv p) d);
+    prop ~count (name "P + (-P) is the point at infinity") gen_scalar (fun k ->
+        let p = pt_of k in
+        let d = E.point_alloc cv in
+        E.neg_into cv d p;
+        E.add_into cv d p d;
+        let into_ok = E.is_infinity cv d in
+        into_ok && E.is_infinity cv (E.add cv p (E.neg cv p)));
+    prop ~count (name "neg_into matches neg (incl. dst = p)") gen_scalar (fun k ->
+        let p = pt_of k in
+        let expect = E.neg cv p in
+        let d = E.point_alloc cv in
+        E.neg_into cv d p;
+        let fresh_ok = E.equal cv expect d in
+        E.copy_point_into cv d p;
+        E.neg_into cv d d;
+        fresh_ok && E.equal cv expect d);
+    prop ~count (name "mixed_add_into matches add on affine second operand")
+      QCheck2.Gen.(pair gen_scalar gen_scalar)
+      (fun (j, k) ->
+        let p = pt_of j and q = pt_of k in
+        match E.to_affine cv q with
+        | None -> true (* mixed add requires z2 = 1; infinity is excluded *)
+        | Some (qx, qy) ->
+            let qa = E.of_affine cv qx qy in
+            let expect = E.add cv p qa in
+            let d = E.point_alloc cv in
+            E.mixed_add_into cv d p qa;
+            let fresh_ok = E.equal cv expect d in
+            E.copy_point_into cv d p;
+            E.mixed_add_into cv d d qa;
+            fresh_ok && E.equal cv expect d);
+    Alcotest.test_case (name "infinity edges") `Quick (fun () ->
+        let o = E.infinity cv in
+        let p = pt_of (Bigint.of_int 7) in
+        let d = E.point_alloc cv in
+        E.double_into cv d o;
+        Alcotest.(check bool) "2*O = O" true (E.is_infinity cv d);
+        E.add_into cv d o p;
+        Alcotest.(check bool) "O + P = P" true (E.equal cv p d);
+        E.add_into cv d p o;
+        Alcotest.(check bool) "P + O = P" true (E.equal cv p d);
+        E.set_infinity_into cv d;
+        Alcotest.(check bool) "set_infinity_into" true (E.is_infinity cv d);
+        E.neg_into cv d o;
+        Alcotest.(check bool) "-O = O" true (E.is_infinity cv d));
+  ]
+
+(* ---- boundary exponents ---- *)
+
+(* Bit-at-a-time square-and-multiply over the group's own [mul]: the
+   slow, obviously-correct reference for every fast exponentiation
+   path.  Exponents are reduced modulo the order first, which is the
+   semantics [pow] promises. *)
+let ref_pow (type a) (module G : Ppgr_group.Group_intf.GROUP with type element = a)
+    (x : a) e =
+  let e = Bigint.erem e G.order in
+  let acc = ref G.identity and b = ref x in
+  for i = 0 to Bigint.numbits e - 1 do
+    if Bigint.testbit e i then acc := G.mul !acc !b;
+    b := G.mul !b !b
+  done;
+  !acc
+
+let boundary_tests (module G : Ppgr_group.Group_intf.GROUP) tag =
+  let module GG = (val (module G : Ppgr_group.Group_intf.GROUP)) in
+  let q = GG.order in
+  let boundaries =
+    [
+      ("0", Bigint.zero);
+      ("1", Bigint.one);
+      ("q-1", Bigint.pred q);
+      ("q", q);
+      ("q+1", Bigint.succ q);
+      ("2q", Bigint.add q q);
+    ]
+  in
+  let rng = Ppgr_rng.Rng.create ~seed:("into-boundary-" ^ tag) in
+  let x = GG.pow GG.generator (Bigint.succ (Ppgr_rng.Rng.bigint_below rng (Bigint.pred q))) in
+  let tbl = GG.powtable x in
+  let gen_boundary =
+    (* k*q + d for k in 0..2 and small |d|: every exponent the
+       [in_range] fast path must classify correctly, plus its
+       neighbours. *)
+    QCheck2.Gen.(
+      let* k = int_range 0 2 in
+      let* d = int_range (-2) 2 in
+      let e = Bigint.add (Bigint.mul (Bigint.of_int k) q) (Bigint.of_int d) in
+      return (if Bigint.sign e < 0 then Bigint.zero else e))
+  in
+  [
+    Alcotest.test_case (tag ^ ": pow/pow_table/pow2 at canonical boundaries") `Quick
+      (fun () ->
+        List.iter
+          (fun (lbl, e) ->
+            let expect = ref_pow (module GG) x e in
+            Alcotest.(check bool) ("pow " ^ lbl) true (GG.equal expect (GG.pow x e));
+            Alcotest.(check bool)
+              ("pow_table " ^ lbl)
+              true
+              (GG.equal expect (GG.pow_table tbl e));
+            Alcotest.(check bool)
+              ("pow2 " ^ lbl)
+              true
+              (GG.equal (GG.mul expect expect) (GG.pow2 x e x e)))
+          boundaries);
+    prop ~count:60 (tag ^ ": pow agrees with reference near k*q")
+      QCheck2.Gen.(pair gen_boundary gen_boundary)
+      (fun (e, f) ->
+        GG.equal (ref_pow (module GG) x e) (GG.pow x e)
+        && GG.equal
+             (GG.mul (ref_pow (module GG) x e) (ref_pow (module GG) x f))
+             (GG.pow2 x e x f));
+  ]
+
+let () =
+  let tiny = E.make_curve (Ppgr_group.Ec_params.tiny ()) in
+  let p160 = E.make_curve Ppgr_group.Ec_params.secp160r1 in
+  Alcotest.run "into"
+    [
+      ("ec-into-tiny", ec_into_tests tiny "tiny" 400);
+      ("ec-into-160", ec_into_tests p160 "secp160r1" 60);
+      ( "boundary-dl",
+        boundary_tests (module (val Ppgr_group.Dl_group.dl_test_128 ())) "DL-test-128" );
+      ( "boundary-ecc",
+        boundary_tests (module (val Ppgr_group.Ec_group.ecc_160 ())) "ECC-160" );
+    ]

@@ -102,6 +102,9 @@ let diff_props =
         let m = Bigint.mul_int m 2 in
         let e = Bigint.erem e (Bigint.nth_bit_weight 64) in
         Bigint.equal (Bigint.powmod b e m) (of_ref (R.powmod (to_ref b) (to_ref e) (to_ref m))));
+    prop "in_range agrees with 0 <= v < m" QCheck2.Gen.(pair gen_signed gen_pos)
+      (fun (v, m) ->
+        Bigint.in_range v m = (Bigint.sign v >= 0 && Bigint.compare v m < 0));
     prop ~count:120 "invmod matches reference" QCheck2.Gen.(pair gen_nonneg gen_odd_modulus)
       (fun (a, m) ->
         match R.invmod (to_ref a) (to_ref m) with
@@ -236,6 +239,35 @@ let modring_tests =
           let e = Modring.enter c v in
           check_elt "sqr = mul self" (Modring.mul c e e) (Modring.sqr c e)
         done);
+    Alcotest.test_case "inv_into matches invmod on random residues" `Quick (fun () ->
+        let rng = Ppgr_rng.Rng.create ~seed:"limbs-inv" in
+        let d = Modring.alloc c in
+        for _ = 1 to 50 do
+          let v = succ (Ppgr_rng.Rng.bigint_below rng (pred p)) in
+          Modring.inv_into c d (Modring.enter c v);
+          Alcotest.(check string) "inv" (to_string (invmod v p))
+            (to_string (Modring.leave c d));
+          (* Round trip: a * a^-1 = 1. *)
+          Modring.mul_into c d d (Modring.enter c v);
+          Alcotest.(check bool) "a * inv a = 1" true (Modring.is_one c d)
+        done);
+    Alcotest.test_case "inv_into tolerates dst aliasing its operand" `Quick (fun () ->
+        let d = Modring.alloc c in
+        Modring.copy_into c d x;
+        Modring.inv_into c d d;
+        check_elt "inv dst = a" (Modring.inv c x) d);
+    Alcotest.test_case "inv_into raises on zero and non-coprime input" `Quick (fun () ->
+        let d = Modring.alloc c in
+        Modring.zero_into c d;
+        Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+            Modring.inv_into c d d);
+        (* Composite odd modulus 3p: a multiple of p shares a factor with
+           the modulus and must be rejected exactly like [invmod]. *)
+        let m3 = mul (of_int 3) p in
+        let c3 = Modring.ctx ~modulus:m3 in
+        let d3 = Modring.alloc c3 in
+        Alcotest.check_raises "inv non-coprime" Division_by_zero (fun () ->
+            Modring.inv_into c3 d3 (Modring.enter c3 p)));
   ]
 
 let () =
