@@ -6,9 +6,9 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig3a   # a subset
    Sections: calibrate fig2 fig3a fig3b analysis ablations micro trajectory
-   scaling obs ring chaos limbs exp, plus scaling-smoke, ring-smoke,
-   chaos-smoke, limbs-smoke and exp-smoke (the cheap CI determinism
-   checks, not part of the default set) *)
+   scaling obs ring chaos limbs exp obsv2, plus scaling-smoke, ring-smoke,
+   chaos-smoke, limbs-smoke, exp-smoke and obsv2-smoke (the cheap CI
+   determinism checks, not part of the default set) *)
 
 let sections_requested =
   match Array.to_list Sys.argv with
@@ -17,6 +17,7 @@ let sections_requested =
       [
         "calibrate"; "fig2"; "fig3a"; "fig3b"; "analysis"; "ablations"; "micro";
         "trajectory"; "scaling"; "obs"; "ring"; "chaos"; "limbs"; "exp";
+        "obsv2";
       ]
 
 let want s = List.mem s sections_requested
@@ -57,9 +58,11 @@ let () =
   if want "chaos" then Chaos.run ();
   if want "limbs" then Limbs.run ();
   if want "exp" then Exp.run ();
+  if want "obsv2" then Obsv2.run ();
   if want "scaling-smoke" then Scaling.smoke ();
   if want "ring-smoke" then Ring.smoke ();
   if want "chaos-smoke" then Chaos.smoke ();
   if want "limbs-smoke" then Limbs.smoke ();
   if want "exp-smoke" then Exp.smoke ();
+  if want "obsv2-smoke" then Obsv2.smoke ();
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

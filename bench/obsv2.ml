@@ -1,0 +1,297 @@
+(* Telemetry-layer bench (BENCH_PR8.json): the cost and the invariance
+   of the PR 8 observability subsystems, measured on the real runtime.
+
+   Four claims, each enforced in-process (a violation fails the bench,
+   so the CI leg is a gate, not a report):
+
+   - overhead: a DL-512 runtime run under FULL telemetry — span tracing
+     with probe sampling, histogram recording, the causal flow ledger —
+     costs at most 5% wall over the telemetry-off run (min-of-N walls);
+   - invariance: the physical transcript digest is byte-identical at
+     jobs in {1,2,4} with telemetry on and off — six equal digests, so
+     neither histograms nor the ledger perturb wire bytes or RNG
+     splitting;
+   - completeness: the causal ledger holds exactly one flow per logical
+     message of a traced run;
+   - distribution: per-hop ring latency and message-size histograms on
+     DL-1024 and ECC-160, the p50/p90/p99/max the ROADMAP's session
+     latency work will regress against.
+
+   Artifacts beside the JSON: a flow-arrow Perfetto trace of a faulty
+   DL-512 run (obsv2_flows.json) and a Prometheus snapshot of every
+   probe and histogram (obsv2_metrics.prom). *)
+
+open Ppgr_bigint
+open Ppgr_grouprank
+module Pool = Ppgr_exec.Pool
+module Trace = Ppgr_obs.Trace
+module Hist = Ppgr_obs.Hist
+module Metrics = Ppgr_obs.Metrics
+module Export = Ppgr_obs.Export
+
+let json_path = "BENCH_PR8.json"
+let flows_path = "obsv2_flows.json"
+let prom_path = "obsv2_metrics.prom"
+let overhead_threshold = 0.05
+
+(* Same instance shape as the chaos suite: n = 4 with a tie. *)
+let betas = Array.map Bigint.of_int [| 9; 3; 14; 3 |]
+let l = 5
+let seed = "ppgr-bench-obsv2"
+
+let fault_spec =
+  "drop=0.1,corrupt=0.1,dup=0.1,delay=0.2,maxdelay=4,seed=bench-obsv2"
+
+type telemetry = Off | Full
+
+(* One runtime run under a telemetry mode.  Probes are registered only
+   for [Full], mirroring what the CLI's observability flags switch on,
+   so [Off] measures the true disabled path (one ref read per site). *)
+let run_once g ~telemetry ?faults () =
+  let module G = (val g : Ppgr_group.Group_intf.GROUP) in
+  let module R = Runtime.Make (G) in
+  let rng = Ppgr_rng.Rng.create ~seed in
+  let faults = Option.map Ppgr_mpcnet.Faultplan.spec_of_string faults in
+  let go () = R.run ?faults rng ~l ~betas in
+  match telemetry with
+  | Off ->
+      let st = go () in
+      (st.R.transcript_sha, st.R.messages, List.length st.R.flows, [])
+  | Full ->
+      Metrics.register ~name:"exps" (fun () -> Ppgr_group.Opmeter.count ());
+      Metrics.register ~name:"group_mults" (fun () -> G.op_count ());
+      Fun.protect
+        ~finally:(fun () ->
+          Metrics.unregister ~name:"exps";
+          Metrics.unregister ~name:"group_mults")
+        (fun () ->
+          Hist.set_enabled true;
+          Fun.protect
+            ~finally:(fun () -> Hist.set_enabled false)
+            (fun () ->
+              let st, spans = Trace.capture go in
+              ( st.R.transcript_sha,
+                st.R.messages,
+                List.length st.R.flows,
+                spans )))
+
+let min_wall ~reps f =
+  f () (* warmup *);
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let w = Unix.gettimeofday () -. t0 in
+    if w < !best then best := w
+  done;
+  !best
+
+let digest_at g ~jobs ~telemetry =
+  let prev = Pool.jobs () in
+  Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs prev) @@ fun () ->
+  let d, _, _, _ = run_once g ~telemetry () in
+  d
+
+type hist_summary = {
+  hs_count : int;
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+  hs_max : int;
+}
+
+let summarize h =
+  {
+    hs_count = Hist.count h;
+    hs_p50 = Hist.p50 h;
+    hs_p90 = Hist.p90 h;
+    hs_p99 = Hist.p99 h;
+    hs_max = Hist.max_value h;
+  }
+
+let emit_hist oc name (s : hist_summary) =
+  Printf.fprintf oc
+    "{\"name\": %S, \"count\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d, \
+     \"max\": %d}"
+    name s.hs_count s.hs_p50 s.hs_p90 s.hs_p99 s.hs_max
+
+(* Per-group distributional numbers: a histogram-enabled run (tracing
+   off — the cheap always-collectable mode) on a fresh registry. *)
+let hist_point g =
+  let module G = (val g : Ppgr_group.Group_intf.GROUP) in
+  Hist.reset_all ();
+  Hist.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Hist.set_enabled false)
+    (fun () -> ignore (run_once g ~telemetry:Off ()));
+  (G.name, summarize Hist.hop_us, summarize Hist.msg_bytes)
+
+(* The overhead gate and the six-digest invariance square on one group
+   (DL-512 in the full bench, a test group in smoke). *)
+let gate_group g ~reps =
+  let module G = (val g : Ppgr_group.Group_intf.GROUP) in
+  Hist.reset_all ();
+  let wall_off = min_wall ~reps (fun () -> ignore (run_once g ~telemetry:Off ())) in
+  let wall_on = min_wall ~reps (fun () -> ignore (run_once g ~telemetry:Full ())) in
+  let overhead = (wall_on -. wall_off) /. wall_off in
+  let digests =
+    List.concat_map
+      (fun jobs ->
+        [
+          (jobs, "off", digest_at g ~jobs ~telemetry:Off);
+          (jobs, "full", digest_at g ~jobs ~telemetry:Full);
+        ])
+      [ 1; 2; 4 ]
+  in
+  let all_agree =
+    match digests with
+    | (_, _, d0) :: rest -> List.for_all (fun (_, _, d) -> String.equal d d0) rest
+    | [] -> false
+  in
+  let _, messages, flows, _ = run_once g ~telemetry:Full () in
+  (G.name, wall_off, wall_on, overhead, digests, all_agree, messages, flows)
+
+let check_group ~gate_overhead
+    (name, wall_off, wall_on, overhead, _digests, all_agree, messages, flows) =
+  let problems = ref [] in
+  let bad fmt =
+    Printf.ksprintf (fun s -> problems := (name ^ ": " ^ s) :: !problems) fmt
+  in
+  if not all_agree then
+    bad "transcript digests diverge across jobs/telemetry (ledger or \
+         histograms touched the wire)";
+  if flows <> messages then
+    bad "causal ledger has %d flows for %d logical messages" flows messages;
+  if gate_overhead && overhead > overhead_threshold then
+    bad "telemetry overhead %.1f%% exceeds %.0f%% gate (off %.3fs, on %.3fs)"
+      (100. *. overhead)
+      (100. *. overhead_threshold)
+      wall_off wall_on;
+  !problems
+
+let run () =
+  Printf.printf "\n== Obsv2 (%s) ==\n%!" json_path;
+  Printf.printf
+    "telemetry layer: overhead gate (<= %.0f%%), 6-way digest invariance, \
+     ledger completeness, hop/size histograms\n%!"
+    (100. *. overhead_threshold);
+  let dl512 = Ppgr_group.Dl_group.dl_512 () in
+  let ((name, wall_off, wall_on, overhead, digests, all_agree, messages, flows)
+       as gate) =
+    gate_group dl512 ~reps:5
+  in
+  Printf.printf
+    "%-8s wall off %.3fs, full telemetry %.3fs -> overhead %.2f%%\n%!" name
+    wall_off wall_on (100. *. overhead);
+  Printf.printf "%-8s digests agree over jobs {1,2,4} x {off,full}: %b\n%!" name
+    all_agree;
+  Printf.printf "%-8s causal ledger: %d flows for %d logical messages\n%!" name
+    flows messages;
+  let hist_points =
+    List.map hist_point
+      [ Ppgr_group.Dl_group.dl_1024 (); Ppgr_group.Ec_group.ecc_160 () ]
+  in
+  List.iter
+    (fun (g, hop, bytes) ->
+      Printf.printf
+        "%-8s hop latency p50 %dus p90 %dus p99 %dus max %dus (%d hops); msg \
+         p50 %dB p99 %dB\n%!"
+        g hop.hs_p50 hop.hs_p90 hop.hs_p99 hop.hs_max hop.hs_count bytes.hs_p50
+        bytes.hs_p99)
+    hist_points;
+  (* Artifacts: the flow-arrow trace of a faulty DL-512 run (arrows span
+     the retransmit window, so Perfetto shows recovery latency) and the
+     Prometheus snapshot of that run's histograms. *)
+  let module G = (val dl512 : Ppgr_group.Group_intf.GROUP) in
+  let module R = Runtime.Make (G) in
+  Hist.reset_all ();
+  Hist.set_enabled true;
+  let st, spans =
+    Fun.protect
+      ~finally:(fun () -> Hist.set_enabled false)
+      (fun () ->
+        Trace.capture (fun () ->
+            let rng = Ppgr_rng.Rng.create ~seed in
+            R.run
+              ~faults:(Ppgr_mpcnet.Faultplan.spec_of_string fault_spec)
+              rng ~l ~betas))
+  in
+  Export.write_chrome ~flows:(Transport.flows_to_export st.R.flows) flows_path
+    spans;
+  Export.write_prometheus prom_path;
+  Printf.printf "wrote %s (%d spans, %d flow arrows) and %s\n%!" flows_path
+    (List.length spans) (List.length st.R.flows) prom_path;
+  let oc = open_out json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 8,\n";
+  out "  \"description\": \"obsv2: telemetry overhead gate, transcript \
+       invariance under telemetry, causal ledger completeness, latency/size \
+       histograms\",\n";
+  out "  \"n\": %d,\n" (Array.length betas);
+  out "  \"l\": %d,\n" l;
+  out "  \"overhead_gate\": {\"group\": %S, \"wall_off_s\": %.4f, \
+       \"wall_on_s\": %.4f, \"overhead_frac\": %.4f, \"threshold\": %.2f},\n"
+    name wall_off wall_on overhead overhead_threshold;
+  out "  \"digest_invariance\": {\"agree\": %b, \"points\": [\n" all_agree;
+  List.iteri
+    (fun i (jobs, telemetry, d) ->
+      out "    {\"jobs\": %d, \"telemetry\": %S, \"transcript_sha256\": %S}%s\n"
+        jobs telemetry d
+        (if i = List.length digests - 1 then "" else ","))
+    digests;
+  out "  ]},\n";
+  out "  \"causal_ledger\": {\"messages_logical\": %d, \"flows\": %d},\n"
+    messages flows;
+  out "  \"histograms\": [\n";
+  List.iteri
+    (fun i (g, hop, bytes) ->
+      out "    {\"group\": %S, \"hop_us\": " g;
+      emit_hist oc "hop_us" hop;
+      out ", \"msg_bytes\": ";
+      emit_hist oc "msg_bytes" bytes;
+      out "}%s\n" (if i = List.length hist_points - 1 then "" else ","))
+    hist_points;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  let problems = check_group ~gate_overhead:true gate in
+  if problems <> [] then begin
+    List.iter (Printf.printf "obsv2 bench: %s\n%!") problems;
+    failwith "obsv2 bench: telemetry contract violated"
+  end
+
+(* CI smoke: invariance and ledger completeness on the test-size
+   groups.  The 5% overhead gate is NOT applied here — sub-millisecond
+   runs drown it in scheduler noise; the full section owns that gate. *)
+let smoke () =
+  Printf.printf "\n== Obsv2 smoke (telemetry invariance + ledger) ==\n%!";
+  let gates =
+    List.map
+      (fun g -> gate_group g ~reps:2)
+      [ Ppgr_group.Dl_group.dl_test_64 (); Ppgr_group.Ec_group.ecc_tiny () ]
+  in
+  let problems = List.concat_map (check_group ~gate_overhead:false) gates in
+  (* Distribution sanity: a histogram-enabled run must record exactly
+     one hop per party. *)
+  let _, hop, _ = hist_point (Ppgr_group.Ec_group.ecc_tiny ()) in
+  let problems =
+    if hop.hs_count <> Array.length betas then
+      Printf.sprintf "ecc-tiny: hop histogram has %d samples for %d hops"
+        hop.hs_count (Array.length betas)
+      :: problems
+    else problems
+  in
+  if problems <> [] then begin
+    List.iter (Printf.printf "obsv2 smoke: %s\n%!") problems;
+    failwith "obsv2 smoke: telemetry contract violated"
+  end;
+  List.iter
+    (fun (name, _, _, _, _, _, messages, flows) ->
+      Printf.printf
+        "obsv2 smoke OK: %s digests job/telemetry invariant, %d flows = %d \
+         messages\n%!"
+        name flows messages)
+    gates

@@ -88,6 +88,14 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let stats_out_arg =
+  let doc =
+    "Write a Prometheus text-format snapshot of all meters, probes and \
+     latency/size histograms to $(docv) after the run (scrape payload of \
+     the future daemon mode).  Enables histogram recording for the run."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel hot loops (0 = all recommended \
@@ -111,7 +119,7 @@ let parse_spec s =
    the message-passing runtime with a fault plan on every link.  The
    contract (test/test_chaos.ml): correct ranks or a typed abort with
    forensics — never a hang, never a silently wrong ranking. *)
-let run_faults group spec criterion infos ~seed fspec =
+let run_faults group spec criterion infos ~seed ?flows_out fspec =
   let module G = (val group : Ppgr_group.Group_intf.GROUP) in
   let module RT = Runtime.Make (G) in
   let open Ppgr_bigint in
@@ -127,8 +135,21 @@ let run_faults group spec criterion infos ~seed fspec =
   Printf.printf "\nfault schedule: %s\n"
     (Ppgr_mpcnet.Faultplan.spec_to_string fspec);
   let rng = Ppgr_rng.Rng.create ~seed:(seed ^ "-faults") in
-  match RT.run ~faults:fspec rng ~l ~betas with
-  | st ->
+  let run () = RT.run ~faults:fspec rng ~l ~betas in
+  (* With --trace the chaos leg is captured too: its spans plus the
+     transport's causal ledger become a flow-arrow trace beside the
+     main one. *)
+  let outcome =
+    match flows_out with
+    | None -> ( try Ok (run (), None) with Transport.Party_dropped f -> Error f)
+    | Some _ -> (
+        try
+          let st, spans = Ppgr_obs.Trace.capture run in
+          Ok (st, Some spans)
+        with Transport.Party_dropped f -> Error f)
+  in
+  match outcome with
+  | Ok (st, spans_opt) ->
       let injected =
         String.concat ", "
           (List.filter_map
@@ -148,8 +169,47 @@ let run_faults group spec criterion infos ~seed fspec =
         st.RT.messages;
       Printf.printf "  bytes (physical):  %d in %d transmissions\n" st.RT.phys_bytes
         st.RT.phys_messages;
-      Printf.printf "  transcript sha256: %s\n" st.RT.transcript_sha
-  | exception Transport.Party_dropped f ->
+      Printf.printf "  transcript sha256: %s\n" st.RT.transcript_sha;
+      (* Per-directed-link physical accounting; the links must tile the
+         global physical counters exactly (they tally at transmit time,
+         so the check holds under reordering too). *)
+      Printf.printf "  per-link physical traffic:\n";
+      Printf.printf "    %4s %4s %10s %12s %8s\n" "from" "to" "msgs" "bytes"
+        "retrans";
+      List.iter
+        (fun (lk : Transport.link) ->
+          Printf.printf "    %4d %4d %10d %12d %8d\n" lk.Transport.lk_src
+            lk.Transport.lk_dst lk.Transport.lk_msgs lk.Transport.lk_bytes
+            lk.Transport.lk_retrans)
+        st.RT.links;
+      let sum f = List.fold_left (fun a lk -> a + f lk) 0 st.RT.links in
+      let lk_msgs = sum (fun lk -> lk.Transport.lk_msgs) in
+      let lk_bytes = sum (fun lk -> lk.Transport.lk_bytes) in
+      let lk_retrans = sum (fun lk -> lk.Transport.lk_retrans) in
+      Printf.printf "    links total: %d msgs, %d bytes, %d retrans  %s\n" lk_msgs
+        lk_bytes lk_retrans
+        (if
+           lk_msgs = st.RT.phys_messages
+           && lk_bytes = st.RT.phys_bytes
+           && lk_retrans = st.RT.retransmits
+         then "(tiles physical counters: ok)"
+         else "(MISMATCH vs physical counters)");
+      if
+        lk_msgs <> st.RT.phys_messages
+        || lk_bytes <> st.RT.phys_bytes
+        || lk_retrans <> st.RT.retransmits
+      then failwith "per-link accounting does not tile the physical counters";
+      (match (flows_out, spans_opt) with
+      | Some path, Some spans ->
+          Ppgr_obs.Export.write_chrome
+            ~flows:(Transport.flows_to_export st.RT.flows)
+            path spans;
+          Printf.printf
+            "  flows trace: %d spans + %d causal arrows -> %s (Perfetto)\n"
+            (List.length spans) (List.length st.RT.flows) path
+      | _ -> ());
+      0
+  | Error f ->
       Printf.printf "runtime aborted: Party_dropped\n";
       Printf.printf "  step:      %s\n" f.Transport.fr_step;
       Printf.printf "  link:      P%d -> P%d (seq %d)\n" (f.Transport.fr_src + 1)
@@ -157,9 +217,20 @@ let run_faults group spec criterion infos ~seed fspec =
       Printf.printf "  attempts:  %d (%s)\n" f.Transport.fr_attempts
         (String.concat "," f.Transport.fr_events);
       Printf.printf "  digest at abort: %s\n" f.Transport.fr_digest;
-      exit 3
+      (* The dropping sender's flight-recorder tail: the last wire
+         events preceding the abort, oldest first. *)
+      Printf.printf "  flight recorder (P%d, last %d events):\n"
+        (f.Transport.fr_src + 1)
+        (List.length f.Transport.fr_flight);
+      List.iter
+        (fun ev ->
+          Printf.printf "    %s\n"
+            (Format.asprintf "%a" Ppgr_obs.Flightrec.pp_event ev))
+        f.Transport.fr_flight;
+      3
 
-let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults =
+let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults
+    stats_out =
   apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
   let spec = parse_spec spec_s in
@@ -171,7 +242,13 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults
   Printf.printf "group: %s (order %d bits), participants: %d, k: %d\n" G.name
     (Ppgr_bigint.Bigint.numbits G.order)
     n k;
-  let observing = trace <> None || jsonl <> None || metrics in
+  let observing =
+    trace <> None || jsonl <> None || metrics || stats_out <> None
+  in
+  if stats_out <> None then begin
+    Ppgr_obs.Hist.reset_all ();
+    Ppgr_obs.Hist.set_enabled true
+  end;
   if observing then begin
     (* The probes sampled at every span boundary: full exponentiations
        (global engine meter), this group's multiplication counter, and
@@ -192,13 +269,15 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults
           Framework.run_with_group group rng cfg ~criterion ~infos)
     else (Framework.run_with_group group rng cfg ~criterion ~infos, [])
   in
-  if observing then begin
-    Ppgr_obs.Metrics.unregister ~name:"exps";
-    Ppgr_obs.Metrics.unregister ~name:"group_mults";
-    List.iter
-      (fun (name, _) -> Ppgr_obs.Metrics.unregister ~name)
-      G.probes
-  end;
+  (* Probes stay registered until after the --stats-out snapshot (end
+     of this function) so the exposition includes their counters. *)
+  let unregister_probes () =
+    if observing then begin
+      Ppgr_obs.Metrics.unregister ~name:"exps";
+      Ppgr_obs.Metrics.unregister ~name:"group_mults";
+      List.iter (fun (name, _) -> Ppgr_obs.Metrics.unregister ~name) G.probes
+    end
+  in
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "\n%-4s %-10s %s\n" "who" "rank" "gain (cleartext, for reference only)";
   Array.iteri
@@ -264,9 +343,23 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults
     then failwith "metrics consistency check failed"
   end;
   Printf.printf "\nwall clock: %.3f s\n" dt;
-  match faults with
-  | None -> ()
-  | Some fspec -> run_faults group spec criterion infos ~seed fspec
+  let code =
+    match faults with
+    | None -> 0
+    | Some fspec ->
+        (* A traced chaos leg writes its own flow-arrow trace next to
+           the main one. *)
+        let flows_out = Option.map (fun p -> p ^ ".flows.json") trace in
+        run_faults group spec criterion infos ~seed ?flows_out fspec
+  in
+  (match stats_out with
+  | Some path ->
+      Ppgr_obs.Export.write_prometheus path;
+      Ppgr_obs.Hist.set_enabled false;
+      Printf.printf "stats: Prometheus snapshot -> %s\n" path
+  | None -> ());
+  unregister_probes ();
+  if code <> 0 then exit code
 
 let simulate_cmd group_name n k seed nodes edges jobs metrics =
   apply_jobs jobs;
@@ -326,7 +419,7 @@ let run_term =
   Term.(
     const run_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ spec_arg $ h_arg
     $ verbose_arg $ jobs_arg $ trace_arg $ jsonl_arg $ metrics_arg
-    $ faults_arg)
+    $ faults_arg $ stats_out_arg)
 
 let nodes_arg =
   Arg.(value & opt int 80 & info [ "nodes" ] ~docv:"V" ~doc:"Topology nodes.")

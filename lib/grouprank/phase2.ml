@@ -321,6 +321,9 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
            flat pass leaves every derived stream (and the closing
            per-owner shuffles) byte-identical to the nested loops. *)
         let s_hop = snap () in
+        let hop_t0 =
+          if Ppgr_obs.Hist.enabled () then Unix.gettimeofday () else 0.
+        in
         Trace.with_span ~attrs:[ ("hop", Trace.Int hop) ] "phase2.ring.hop"
           (fun () ->
             with_party ~step:"ring" ops hop (fun () ->
@@ -351,6 +354,9 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
                 Array.iteri
                   (fun k owner -> Rng.shuffle orngs.(k) v.(owner))
                   owners));
+        if Ppgr_obs.Hist.enabled () then
+          Ppgr_obs.Hist.record_us Ppgr_obs.Hist.hop_us
+            ((Unix.gettimeofday () -. hop_t0) *. 1e6);
         if hop < n - 1 then
           round ~step:"ring" ~critical_ops:(crit_since s_hop)
             (Netsim.unicast ~src:hop ~dst:(hop + 1) ~bytes:frame_bytes)

@@ -19,6 +19,7 @@
 open Ppgr_bigint
 open Ppgr_rng
 module Trace = Ppgr_obs.Trace
+module Hist = Ppgr_obs.Hist
 
 module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   module E = Ppgr_elgamal.Elgamal.Make (G)
@@ -261,6 +262,10 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     transcript_sha : string; (* chained digest of all physical bytes *)
     net_rounds : Ppgr_mpcnet.Netsim.schedule;
         (* physical traffic per protocol step, replayable on a topology *)
+    links : Transport.link list; (* per-directed-link physical traffic *)
+    flows : Transport.flow list;
+        (* causal ledger (empty unless tracing was on) *)
+    flight : Ppgr_obs.Flightrec.t; (* recent-wire-event ring, per party *)
   }
 
   (** Drive a full distributed execution.  All inter-party state passes
@@ -271,7 +276,8 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       or aborts with the typed {!Transport.Party_dropped}.
       @raise Transport.Party_dropped when a message exhausts
       [retry_budget] retransmissions. *)
-  let run ?faults ?(retry_budget = 8) rng ~l ~(betas : Bigint.t array) : stats =
+  let run ?faults ?(retry_budget = 8) ?flight_cap rng ~l ~(betas : Bigint.t array) :
+      stats =
     let n = Array.length betas in
     if n < 2 then invalid_arg "Runtime.run: need at least 2 parties";
     Trace.with_span
@@ -280,7 +286,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       "runtime"
     @@ fun () ->
     let plan = Option.map Ppgr_mpcnet.Faultplan.create faults in
-    let tr = Transport.create ?faults:plan ~retry_budget ~n () in
+    let tr = Transport.create ?faults:plan ~retry_budget ?flight_cap ~n () in
     let bytes_total = ref 0 in
     let msg_total = ref 0 in
     let sent = Array.make n 0 in
@@ -307,21 +313,35 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       else begin
         let s0 = Array.copy sent and r0 = Array.copy received in
         let ps0 = Transport.phys_sent tr and pr0 = Transport.phys_received tr in
+        let rt0 = Transport.retrans_by_src tr in
+        let ev0 = Transport.env_bytes_by_src tr in
         let r = f () in
         let ps1 = Transport.phys_sent tr and pr1 = Transport.phys_received tr in
+        let rt1 = Transport.retrans_by_src tr in
+        let ev1 = Transport.env_bytes_by_src tr in
         for j = 0 to n - 1 do
           let out = sent.(j) - s0.(j) and inb = received.(j) - r0.(j) in
-          if out > 0 || inb > 0 then
-            Trace.instant
-              ~attrs:
-                [
-                  ("party", Trace.Int j);
-                  ("bytes_out", Trace.Int out);
-                  ("bytes_in", Trace.Int inb);
-                  ("phys_out", Trace.Int (ps1.(j) - ps0.(j)));
-                  ("phys_in", Trace.Int (pr1.(j) - pr0.(j)));
-                ]
-              ("runtime." ^ step ^ ".wire")
+          if out > 0 || inb > 0 then begin
+            let base =
+              [
+                ("party", Trace.Int j);
+                ("bytes_out", Trace.Int out);
+                ("bytes_in", Trace.Int inb);
+                ("phys_out", Trace.Int (ps1.(j) - ps0.(j)));
+                ("phys_in", Trace.Int (pr1.(j) - pr0.(j)));
+                ("env_bytes", Trace.Int (ev1.(j) - ev0.(j)));
+              ]
+            in
+            (* Per-party physical recovery cost of the step; the
+               retransmits column tiles Transport.stats the same way
+               phys_out tiles phys_bytes. *)
+            let attrs =
+              if rt1.(j) - rt0.(j) > 0 then
+                base @ [ ("retransmits", Trace.Int (rt1.(j) - rt0.(j))) ]
+              else base
+            in
+            Trace.instant ~attrs ("runtime." ^ step ^ ".wire")
+          end
         done;
         r
       end
@@ -382,12 +402,15 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
        set to its owner and keeps its own. *)
     let v = ref v in
     for hop = 0 to n - 1 do
+      let hop_t0 = if Hist.enabled () then Unix.gettimeofday () else 0. in
       let processed =
         Trace.with_span
           ~attrs:[ ("party", Trace.Int hop); ("hop", Trace.Int hop) ]
           "runtime.ring"
           (fun () -> ring_hop parties.(hop) ~v_msgs:!v)
       in
+      if Hist.enabled () then
+        Hist.record_us Hist.hop_us ((Unix.gettimeofday () -. hop_t0) *. 1e6);
       if hop < n - 1 then begin
         let frame =
           wire_mark "ring" (fun () ->
@@ -432,5 +455,8 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         | Some p -> Ppgr_mpcnet.Faultplan.injected p);
       transcript_sha = Transport.transcript_sha tr;
       net_rounds = Transport.net_rounds tr;
+      links = Transport.links tr;
+      flows = Transport.flows tr;
+      flight = Transport.flight tr;
     }
 end

@@ -29,6 +29,8 @@
 
 open Ppgr_mpcnet
 module Trace = Ppgr_obs.Trace
+module Hist = Ppgr_obs.Hist
+module Flightrec = Ppgr_obs.Flightrec
 module Sha256 = Ppgr_hash.Sha256
 
 type forensics = {
@@ -39,6 +41,8 @@ type forensics = {
   fr_attempts : int; (* attempts spent, budget included *)
   fr_events : string list; (* per-attempt fault outcomes, oldest first *)
   fr_recent : string list; (* cross-link event tail, oldest first *)
+  fr_flight : Flightrec.event list;
+      (* the dropping sender's flight-recorder tail, oldest first *)
   fr_digest : string; (* transcript digest at abort time (hex) *)
 }
 
@@ -67,6 +71,36 @@ type stats = {
   mutable phys_bytes : int;
 }
 
+(** One entry of the causal ledger: a delivered message's identity
+    [(src, dst, seq)] with the wall-clock times, open span ids and
+    domain slots of its send and accept.  Kept strictly {e off the
+    wire} — never serialized, hashed, or consulted by protocol logic —
+    so recording flows cannot perturb transcript digests or RNG
+    splitting.  Populated only while tracing is enabled; the exporters
+    turn it into Perfetto flow arrows. *)
+type flow = {
+  fl_src : int;
+  fl_dst : int;
+  fl_seq : int;
+  fl_step : string;
+  fl_bytes : int; (* payload bytes (logical) *)
+  fl_send_us : float;
+  fl_recv_us : float;
+  fl_send_span : int;
+  fl_recv_span : int;
+  fl_send_slot : int;
+  fl_recv_slot : int;
+}
+
+(** Physical traffic of one directed link. *)
+type link = {
+  lk_src : int;
+  lk_dst : int;
+  lk_msgs : int; (* wire touches, retransmissions included *)
+  lk_bytes : int;
+  lk_retrans : int;
+}
+
 type t = {
   n : int;
   faults : Faultplan.t option;
@@ -79,6 +113,13 @@ type t = {
   st : stats;
   phys_sent : int array; (* physical bytes out, per party *)
   phys_received : int array;
+  link_msgs : int array array; (* wire touches, per (src, dst) *)
+  link_bytes : int array array;
+  link_retrans : int array array;
+  retrans_by_src : int array; (* retransmissions charged to the sender *)
+  env_by_src : int array; (* envelope-overhead bytes, per sender *)
+  flight : Flightrec.t; (* always-on recent-event ring, per party *)
+  mutable flows_rev : flow list; (* causal ledger; tracing-gated *)
   mutable step : string;
   mutable round_rev : Netsim.message list; (* current step's attempts *)
   mutable rounds_rev : (string * Netsim.message list) list;
@@ -90,7 +131,7 @@ type t = {
 let recent_cap = 32
 
 let create ?faults ?(retry_budget = 8) ?(backoff_base = 1)
-    ?(backoff_cap = 64) ~n () =
+    ?(backoff_cap = 64) ?(flight_cap = Flightrec.default_capacity) ~n () =
   {
     n;
     faults;
@@ -114,6 +155,13 @@ let create ?faults ?(retry_budget = 8) ?(backoff_base = 1)
       };
     phys_sent = Array.make n 0;
     phys_received = Array.make n 0;
+    link_msgs = Array.make_matrix n n 0;
+    link_bytes = Array.make_matrix n n 0;
+    link_retrans = Array.make_matrix n n 0;
+    retrans_by_src = Array.make n 0;
+    env_by_src = Array.make n 0;
+    flight = Flightrec.create ~parties:n ~capacity:flight_cap ();
+    flows_rev = [];
     step = "init";
     round_rev = [];
     rounds_rev = [];
@@ -125,7 +173,61 @@ let create ?faults ?(retry_budget = 8) ?(backoff_base = 1)
 let stats t = t.st
 let phys_sent t = Array.copy t.phys_sent
 let phys_received t = Array.copy t.phys_received
+let retrans_by_src t = Array.copy t.retrans_by_src
+let env_bytes_by_src t = Array.copy t.env_by_src
+let flight t = t.flight
 let transcript_sha t = Sha256.hex_of_digest t.digest
+
+(** The causal ledger in send order (empty unless tracing was enabled
+    during the run). *)
+let flows t = List.rev t.flows_rev
+
+(** Render ledger entries as exporter flow arrows (ids are positions in
+    the list — unique within one trace). *)
+let flows_to_export (fls : flow list) : Ppgr_obs.Export.flow list =
+  List.mapi
+    (fun i fl ->
+      {
+        Ppgr_obs.Export.flow_name = "msg." ^ fl.fl_step;
+        flow_id = i;
+        flow_src_slot = fl.fl_send_slot;
+        flow_dst_slot = fl.fl_recv_slot;
+        flow_send_us = fl.fl_send_us;
+        flow_recv_us = fl.fl_recv_us;
+        flow_args =
+          [
+            ("src", Trace.Int fl.fl_src);
+            ("dst", Trace.Int fl.fl_dst);
+            ("seq", Trace.Int fl.fl_seq);
+            ("bytes", Trace.Int fl.fl_bytes);
+            ("send_span", Trace.Int fl.fl_send_span);
+            ("recv_span", Trace.Int fl.fl_recv_span);
+          ];
+      })
+    fls
+
+(** Per-directed-link physical traffic, links that carried anything,
+    row-major.  Sums to [stats]' [phys_messages]/[phys_bytes] — a
+    tiling the CLI checks. *)
+let links t =
+  let out = ref [] in
+  for src = t.n - 1 downto 0 do
+    for dst = t.n - 1 downto 0 do
+      if t.link_msgs.(src).(dst) > 0 then
+        out :=
+          {
+            lk_src = src;
+            lk_dst = dst;
+            lk_msgs = t.link_msgs.(src).(dst);
+            lk_bytes = t.link_bytes.(src).(dst);
+            lk_retrans = t.link_retrans.(src).(dst);
+          }
+          :: !out
+    done
+  done;
+  !out
+
+let now_us () = Unix.gettimeofday () *. 1e6
 
 (** Close the current step's physical round.  Called by the runtime at
     every protocol-step boundary so the schedule mirrors the lockstep
@@ -134,6 +236,7 @@ let begin_step t step =
   if t.round_rev <> [] then
     t.rounds_rev <- (t.step, List.rev t.round_rev) :: t.rounds_rev;
   t.round_rev <- [];
+  Flightrec.set_step t.flight step;
   t.step <- step
 
 (** The physical message log as a {!Netsim.schedule}: one round per
@@ -157,15 +260,23 @@ let note t ev =
     t.recent_len <- recent_cap
   end
 
-(* Every wire touch: per-party and per-link physical tallies plus the
-   chained transcript digest (corrupted copies hash as transmitted, so
-   the digest pins the exact fault schedule too). *)
-let transmit t ~src ~dst (wire_bytes : Bytes.t) =
+(* Every wire touch: per-party and per-link physical tallies, the
+   message-size histogram and the sender's flight-recorder entry, plus
+   the chained transcript digest (corrupted copies hash as transmitted,
+   so the digest pins the exact fault schedule too).  [seq] is known at
+   every call site except limbo/drain flushes of held stale copies
+   (passed as -1 there); it feeds only the flight recorder. *)
+let transmit t ~src ~dst ~seq (wire_bytes : Bytes.t) =
   let len = Bytes.length wire_bytes in
   t.st.phys_messages <- t.st.phys_messages + 1;
   t.st.phys_bytes <- t.st.phys_bytes + len;
   t.phys_sent.(src) <- t.phys_sent.(src) + len;
   t.phys_received.(dst) <- t.phys_received.(dst) + len;
+  t.link_msgs.(src).(dst) <- t.link_msgs.(src).(dst) + 1;
+  t.link_bytes.(src).(dst) <- t.link_bytes.(src).(dst) + len;
+  t.env_by_src.(src) <- t.env_by_src.(src) + Wire.envelope_overhead;
+  Hist.record Hist.msg_bytes len;
+  Flightrec.record t.flight ~party:src Flightrec.Send ~src ~dst ~seq ~info:len;
   t.round_rev <- { Netsim.src; dst; bytes = len } :: t.round_rev;
   let ctx = Sha256.init () in
   Sha256.feed_bytes ctx t.digest;
@@ -179,11 +290,15 @@ let receive t ~src ~dst (wire_bytes : Bytes.t) =
   match Wire.decode_envelope wire_bytes with
   | exception Wire.Malformed _ ->
       t.st.crc_rejects <- t.st.crc_rejects + 1;
+      Flightrec.record t.flight ~party:dst Flightrec.Crc_reject ~src ~dst ~seq:(-1)
+        ~info:(Bytes.length wire_bytes);
       None
   | env ->
       if env.Wire.env_src <> src || env.Wire.env_dst <> dst then begin
         (* A CRC-valid envelope on the wrong link: misrouted; refuse. *)
         t.st.crc_rejects <- t.st.crc_rejects + 1;
+        Flightrec.record t.flight ~party:dst Flightrec.Crc_reject ~src ~dst
+          ~seq:env.Wire.env_seq ~info:(Bytes.length wire_bytes);
         None
       end
       else if env.Wire.env_seq < t.recv_seq.(src).(dst) then begin
@@ -200,6 +315,9 @@ let receive t ~src ~dst (wire_bytes : Bytes.t) =
                 t.recv_seq.(src).(dst)))
       else begin
         t.recv_seq.(src).(dst) <- env.Wire.env_seq + 1;
+        Flightrec.record t.flight ~party:dst Flightrec.Receive ~src ~dst
+          ~seq:env.Wire.env_seq
+          ~info:(Bytes.length env.Wire.env_payload);
         Some env.Wire.env_payload
       end
 
@@ -215,7 +333,7 @@ let flush_limbo t ~src ~dst =
       Hashtbl.remove t.limbo k;
       List.iter
         (fun env ->
-          transmit t ~src ~dst env;
+          transmit t ~src ~dst ~seq:(-1) env;
           match receive t ~src ~dst env with
           | None -> ()
           | Some _ ->
@@ -246,6 +364,13 @@ let send t ~src ~dst (payload : Bytes.t) =
   let seq = t.send_seq.(src).(dst) in
   t.send_seq.(src).(dst) <- seq + 1;
   let env = Wire.encode_envelope ~src ~dst ~seq payload in
+  (* Causal ledger send endpoint, captured before any wire touch so the
+     flow arrow starts where the protocol decided to send.  Tracing
+     off → no ledger entry and no clock reads. *)
+  let tracing = Trace.enabled () in
+  let fl_send_us = if tracing then now_us () else 0. in
+  let fl_send_span = if tracing then Trace.current_span_id () else -1 in
+  let fl_send_slot = if tracing then Ppgr_exec.Meter.slot () else 0 in
   let events = ref [] in
   let result = ref None in
   let attempt = ref 0 in
@@ -260,6 +385,7 @@ let send t ~src ~dst (payload : Bytes.t) =
           fr_attempts = !attempt;
           fr_events = List.rev !events;
           fr_recent = List.rev t.recent_rev;
+          fr_flight = Flightrec.tail t.flight ~party:src;
           fr_digest = transcript_sha t;
         }
       in
@@ -279,21 +405,46 @@ let send t ~src ~dst (payload : Bytes.t) =
     end;
     if !attempt > 0 then begin
       t.st.retransmits <- t.st.retransmits + 1;
+      t.retrans_by_src.(src) <- t.retrans_by_src.(src) + 1;
+      t.link_retrans.(src).(dst) <- t.link_retrans.(src).(dst) + 1;
       (* Capped exponential backoff before a retransmission, accounted
          in simulated timer ticks. *)
-      t.st.backoff_ticks <-
-        t.st.backoff_ticks
-        + Stdlib.min t.backoff_cap (t.backoff_base lsl Stdlib.min 20 (!attempt - 1))
+      let wait =
+        Stdlib.min t.backoff_cap (t.backoff_base lsl Stdlib.min 20 (!attempt - 1))
+      in
+      t.st.backoff_ticks <- t.st.backoff_ticks + wait;
+      Hist.record Hist.backoff_ticks wait;
+      Flightrec.record t.flight ~party:src Flightrec.Retransmit ~src ~dst ~seq
+        ~info:!attempt
     end;
     let fault =
       match t.faults with None -> Faultplan.Deliver | Some p -> Faultplan.next p ~src ~dst
     in
     let record kind = retry_span t ~kind ~src ~dst ~seq ~attempt:!attempt in
     let deliver wire =
-      transmit t ~src ~dst wire;
+      transmit t ~src ~dst ~seq wire;
       match receive t ~src ~dst wire with
       | Some p ->
           result := Some p;
+          (* Accept endpoint of the causal arrow: after every
+             retransmission the fault schedule demanded, so the arrow's
+             extent is the message's true delivery latency. *)
+          if tracing then
+            t.flows_rev <-
+              {
+                fl_src = src;
+                fl_dst = dst;
+                fl_seq = seq;
+                fl_step = t.step;
+                fl_bytes = Bytes.length p;
+                fl_send_us;
+                fl_recv_us = now_us ();
+                fl_send_span;
+                fl_recv_span = Trace.current_span_id ();
+                fl_send_slot;
+                fl_recv_slot = Ppgr_exec.Meter.slot ();
+              }
+              :: t.flows_rev;
           flush_limbo t ~src ~dst
       | None -> ()
     in
@@ -312,7 +463,7 @@ let send t ~src ~dst (payload : Bytes.t) =
     | Faultplan.Duplicate ->
         deliver env;
         (* The second copy arrives stale and is suppressed. *)
-        transmit t ~src ~dst env;
+        transmit t ~src ~dst ~seq env;
         (match receive t ~src ~dst env with Some _ -> assert false | None -> ());
         record "duplicate";
         events := "duplicate" :: !events
@@ -347,7 +498,7 @@ let drain t =
       let src = k / t.n and dst = k mod t.n in
       List.iter
         (fun env ->
-          transmit t ~src ~dst env;
+          transmit t ~src ~dst ~seq:(-1) env;
           ignore (receive t ~src ~dst env))
         (List.rev held))
     t.limbo;

@@ -1,0 +1,21 @@
+(** Minor-heap allocation probes.
+
+    Sampling [Gc.minor_words] around a loop gives an exact, jitter-free
+    per-iteration allocation figure — the probe behind every
+    "allocation-free" gate in the test suite. *)
+
+type sample = {
+  words_per_iter : float;  (** minor words allocated per iteration *)
+  total_words : float;  (** minor words across the whole loop *)
+  iters : int;
+}
+
+(** [measure ?warmup ~iters f] runs [f] [warmup] times (default 3),
+    performs a full major collection, then samples minor words around
+    [iters] further calls. *)
+val measure : ?warmup:int -> iters:int -> (unit -> unit) -> sample
+
+(** Whether the measured loop allocated nothing at all. *)
+val is_alloc_free : sample -> bool
+
+val pp : Format.formatter -> sample -> unit

@@ -1,10 +1,14 @@
 (** Trace exporters: Chrome trace-event JSON (loadable in Perfetto or
-    chrome://tracing) and a line-per-span JSONL event log.
+    chrome://tracing), a line-per-span JSONL event log, and a
+    Prometheus text-format exposition of probes and histograms.
 
-    Both formats are rendered with a hand-rolled emitter — the repo has
-    no JSON dependency — and are deliberately minimal: complete events
-    ([ph:"X"]) on one process, one thread id per domain slot, span
-    attributes in [args]. *)
+    The JSON formats are rendered with a hand-rolled emitter — the repo
+    has no JSON dependency — and are deliberately minimal: complete
+    events ([ph:"X"]) on one process, one thread id per domain slot,
+    span attributes in [args].  Cross-party causality is rendered as
+    flow events ([ph:"s"]/[ph:"f"]): Perfetto draws an arrow from the
+    sender's slice to the receiver's, binding each endpoint to the
+    slice enclosing its (pid, tid, ts) coordinate. *)
 
 let buf_add_json_string b s =
   Buffer.add_char b '"';
@@ -41,6 +45,34 @@ let buf_add_attrs b attrs =
 
 (** {1 Chrome trace-event format} *)
 
+(** One causal arrow: drawn from the sender's open slice at
+    [flow_send_us] on lane [flow_src_slot] to the receiver's at
+    [flow_recv_us] on lane [flow_dst_slot].  The transport builds these
+    from its off-wire ledger ([Transport.flows]); the ids only need to
+    be unique within one trace. *)
+type flow = {
+  flow_name : string;
+  flow_id : int;
+  flow_src_slot : int;
+  flow_dst_slot : int;
+  flow_send_us : float;
+  flow_recv_us : float;
+  flow_args : (string * Trace.attr) list;
+}
+
+let flow_event b f ~finish =
+  Buffer.add_string b "{\"name\":";
+  buf_add_json_string b f.flow_name;
+  Buffer.add_string b ",\"cat\":\"ppgr.flow\",\"ph\":";
+  Buffer.add_string b (if finish then "\"f\",\"bp\":\"e\"" else "\"s\"");
+  Buffer.add_string b (Printf.sprintf ",\"id\":%d,\"pid\":0,\"tid\":%d,\"ts\":" f.flow_id
+                         (if finish then f.flow_dst_slot else f.flow_src_slot));
+  Buffer.add_string b
+    (Printf.sprintf "%.1f" (if finish then f.flow_recv_us else f.flow_send_us));
+  Buffer.add_string b ",\"args\":";
+  buf_add_attrs b f.flow_args;
+  Buffer.add_char b '}'
+
 let chrome_event b (sp : Trace.span) =
   Buffer.add_string b "{\"name\":";
   buf_add_json_string b sp.name;
@@ -52,7 +84,7 @@ let chrome_event b (sp : Trace.span) =
   buf_add_attrs b (("span_id", Trace.Int sp.id) :: ("parent", Trace.Int sp.parent) :: sp.attrs);
   Buffer.add_char b '}'
 
-let chrome_string (spans : Trace.span list) =
+let chrome_string ?(flows = []) (spans : Trace.span list) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   (* Name the per-slot tracks so Perfetto shows "main" / "worker k". *)
@@ -70,13 +102,20 @@ let chrome_string (spans : Trace.span list) =
       Buffer.add_string b ",\n";
       chrome_event b sp)
     spans;
+  List.iter
+    (fun f ->
+      Buffer.add_string b ",\n";
+      flow_event b f ~finish:false;
+      Buffer.add_string b ",\n";
+      flow_event b f ~finish:true)
+    flows;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 
-let write_chrome path spans =
+let write_chrome ?flows path spans =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (chrome_string spans))
+      output_string oc (chrome_string ?flows spans))
 
 (** {1 JSONL event log} *)
 
@@ -98,3 +137,47 @@ let write_jsonl path spans =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc (jsonl_string spans))
+
+(** {1 Prometheus text exposition}
+
+    Every registered {!Metrics} probe becomes a counter and every
+    registered {!Hist} a histogram (cumulative [le] buckets over the
+    non-empty log-linear buckets' upper bounds).  This is the scrape
+    payload for the upcoming daemon mode; today the CLI snapshots it to
+    a file ([--stats-out]) and the bench archives it as an artifact. *)
+
+let prom_sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let prometheus_string () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let m = "ppgr_" ^ prom_sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m v))
+    (Metrics.read_all ());
+  List.iter
+    (fun (name, h) ->
+      let m = "ppgr_" ^ prom_sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m);
+      let cum = ref 0 in
+      List.iter
+        (fun (_, hi, c) ->
+          cum := !cum + c;
+          Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" m hi !cum))
+        (Hist.buckets h);
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m !cum);
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" m (Hist.sum h));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m (Hist.count h)))
+    (Hist.registered ());
+  Buffer.contents b
+
+let write_prometheus path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (prometheus_string ()))

@@ -1,0 +1,52 @@
+(** Per-party flight recorder: a fixed-capacity ring of recent wire
+    events, kept always-on so the tail preceding an abort is available
+    in [Party_dropped] forensics and the CLI exit-3 report.
+
+    Events are stored in preallocated parallel [int] arrays (step names
+    interned), so {!record} allocates nothing; {!tail} is the
+    allocating query path.  The recorder never touches wire bytes or
+    RNG — golden transcripts are unaffected. *)
+
+type kind = Send | Receive | Retransmit | Crc_reject | Step
+
+val kind_name : kind -> string
+
+type t
+
+val default_capacity : int
+
+(** [create ~parties ?capacity ()] preallocates [parties × capacity]
+    event slots ([capacity] defaults to {!default_capacity}). *)
+val create : parties:int -> ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Lifetime events recorded for [party] (≥ retained count). *)
+val recorded : t -> party:int -> int
+
+(** Whether [party]'s ring has discarded old events. *)
+val wrapped : t -> party:int -> bool
+
+(** [record t ~party kind ~src ~dst ~seq ~info] appends one event,
+    overwriting the oldest when full.  [info] is kind-specific: bytes
+    for sends/receives/CRC rejects, the attempt number for
+    retransmits.  Zero-allocation. *)
+val record : t -> party:int -> kind -> src:int -> dst:int -> seq:int -> info:int -> unit
+
+(** Mark a step transition: interns [name] (allocates, but only a few
+    times per run) and stamps a [Step] marker into every party's ring. *)
+val set_step : t -> string -> unit
+
+type event = {
+  ev_kind : kind;
+  ev_step : string;  (** step in flight when the event was recorded *)
+  ev_src : int;
+  ev_dst : int;
+  ev_seq : int;
+  ev_info : int;
+}
+
+(** Retained events for [party], oldest first. *)
+val tail : t -> party:int -> event list
+
+val pp_event : Format.formatter -> event -> unit

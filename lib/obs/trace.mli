@@ -49,6 +49,12 @@ val spans : unit -> span list
 
 val span_count : unit -> int
 
+val current_span_id : unit -> int
+(** Id of the innermost open span of the calling domain (the batch
+    parent inside a pool task with no local span, -1 outside any
+    span) — the anchor the transport's causal flow ledger records so
+    exported flow arrows bind to the enclosing slice. *)
+
 val capture : (unit -> 'a) -> 'a * span list
 (** [capture f] runs [f] with tracing enabled on a fresh buffer and
     returns its result with the recorded spans; previous enabled state

@@ -126,10 +126,57 @@ let group_tests =
           s_small.Allocs.words_per_iter s_big.Allocs.words_per_iter);
   ]
 
+(* Telemetry layer (PR 8): recording into a histogram or the flight
+   recorder is steady-state allocation-free in BOTH states — disabled
+   (one ref read, the hot-path guarantee) and enabled (preallocated
+   int-array lanes, no boxing). *)
+let telemetry_tests =
+  let module Hist = Ppgr_obs.Hist in
+  let module Flightrec = Ppgr_obs.Flightrec in
+  let h = Hist.create () in
+  let fl = Flightrec.create ~parties:4 () in
+  let tick = ref 0 in
+  [
+    Alcotest.test_case "disabled Hist.record is allocation-free" `Quick
+      (fun () ->
+        Hist.set_enabled false;
+        let s =
+          Allocs.measure ~warmup:8 ~iters:200 (fun () ->
+              incr tick;
+              Hist.record h !tick)
+        in
+        if not (Allocs.is_alloc_free s) then
+          Alcotest.failf "disabled record allocates: %s"
+            (Format.asprintf "%a" Allocs.pp s));
+    Alcotest.test_case "enabled Hist.record is allocation-free" `Quick
+      (fun () ->
+        Hist.set_enabled true;
+        Fun.protect ~finally:(fun () -> Hist.set_enabled false) @@ fun () ->
+        let s =
+          Allocs.measure ~warmup:8 ~iters:200 (fun () ->
+              incr tick;
+              Hist.record h (!tick * 7919))
+        in
+        if not (Allocs.is_alloc_free s) then
+          Alcotest.failf "enabled record allocates: %s"
+            (Format.asprintf "%a" Allocs.pp s));
+    Alcotest.test_case "Flightrec.record is allocation-free" `Quick (fun () ->
+        let s =
+          Allocs.measure ~warmup:8 ~iters:200 (fun () ->
+              incr tick;
+              Flightrec.record fl ~party:(!tick land 3) Flightrec.Send ~src:0
+                ~dst:1 ~seq:!tick ~info:64)
+        in
+        if not (Allocs.is_alloc_free s) then
+          Alcotest.failf "Flightrec.record allocates: %s"
+            (Format.asprintf "%a" Allocs.pp s));
+  ]
+
 let () =
   Alcotest.run "allocs"
     [
       ("zero-alloc", zero_alloc_tests);
       ("powmod", powmod_tests);
       ("group-alloc", group_tests);
+      ("telemetry-alloc", telemetry_tests);
     ]

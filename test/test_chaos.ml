@@ -209,6 +209,111 @@ module Conformance (G : Group_intf.GROUP) = struct
   let cases = scenario_cases @ determinism_cases @ jobs_cases
 end
 
+(* ---- Flight recorder: the per-party ring of recent wire events ---- *)
+
+module Flightrec = Ppgr_obs.Flightrec
+
+module Flight (G : Group_intf.GROUP) = struct
+  module RT = Runtime.Make (G)
+
+  let run_spec ?flight_cap ?(seed = "chaos-protocol") spec_str =
+    let rng = Rng.create ~seed in
+    let faults = Faultplan.spec_of_string spec_str in
+    RT.run ~faults ~retry_budget ?flight_cap rng ~l ~betas
+
+  let cases =
+    [
+      Alcotest.test_case "ring wraps at capacity, keeping the newest" `Quick
+        (fun () ->
+          let cap = 8 in
+          let st = run_spec ~flight_cap:cap "drop=0.2,dup=0.2,seed=chaos-2" in
+          let fl = st.RT.flight in
+          Alcotest.(check int) "capacity as configured" cap
+            (Flightrec.capacity fl);
+          (* Every party both sends and receives in every step, so with
+             dozens of messages each ring must have overflowed. *)
+          Array.iteri
+            (fun p _ ->
+              let n = Flightrec.recorded fl ~party:p in
+              Alcotest.(check bool)
+                (Printf.sprintf "party %d overflowed" p)
+                true (n > cap);
+              Alcotest.(check bool)
+                (Printf.sprintf "party %d wrapped" p)
+                true
+                (Flightrec.wrapped fl ~party:p);
+              Alcotest.(check int)
+                (Printf.sprintf "party %d tail is capacity-bounded" p)
+                cap
+                (List.length (Flightrec.tail fl ~party:p)))
+            betas);
+      Alcotest.test_case "unwrapped ring retains everything, oldest first"
+        `Quick (fun () ->
+          let fl = Flightrec.create ~parties:1 ~capacity:16 () in
+          for seq = 0 to 9 do
+            Flightrec.record fl ~party:0 Send ~src:0 ~dst:1 ~seq ~info:seq
+          done;
+          Alcotest.(check bool) "not wrapped" false
+            (Flightrec.wrapped fl ~party:0);
+          let tl = Flightrec.tail fl ~party:0 in
+          Alcotest.(check (list int)) "oldest first, none lost"
+            [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+            (List.map (fun e -> e.Flightrec.ev_seq) tl));
+      Alcotest.test_case "wrapped ring keeps exactly the newest" `Quick
+        (fun () ->
+          let fl = Flightrec.create ~parties:2 ~capacity:4 () in
+          for seq = 0 to 10 do
+            Flightrec.record fl ~party:1 Receive ~src:0 ~dst:1 ~seq ~info:0
+          done;
+          Alcotest.(check int) "recorded all" 11 (Flightrec.recorded fl ~party:1);
+          Alcotest.(check (list int)) "last capacity events, oldest first"
+            [ 7; 8; 9; 10 ]
+            (List.map
+               (fun e -> e.Flightrec.ev_seq)
+               (Flightrec.tail fl ~party:1));
+          (* The other party's ring is untouched. *)
+          Alcotest.(check int) "party 0 empty" 0 (Flightrec.recorded fl ~party:0));
+      Alcotest.test_case "clean run records no recovery events" `Quick
+        (fun () ->
+          let st = run_spec "seed=calm" in
+          Array.iteri
+            (fun p _ ->
+              List.iter
+                (fun e ->
+                  match e.Flightrec.ev_kind with
+                  | Flightrec.Retransmit | Flightrec.Crc_reject ->
+                      Alcotest.failf
+                        "party %d: clean run recorded a %s event" p
+                        (Flightrec.kind_name e.Flightrec.ev_kind)
+                  | _ -> ())
+                (Flightrec.tail st.RT.flight ~party:p))
+            betas);
+      Alcotest.test_case "abort forensics carry the failing link's tail"
+        `Quick (fun () ->
+          (* Hostile enough that the retry budget cannot absorb it. *)
+          let rng = Rng.create ~seed:"chaos-protocol" in
+          let faults = Faultplan.spec_of_string "drop=0.9,seed=chaos-abort" in
+          match RT.run ~faults ~retry_budget:2 rng ~l ~betas with
+          | _ -> Alcotest.fail "expected Party_dropped under drop=0.9"
+          | exception Transport.Party_dropped f ->
+              Alcotest.(check bool) "flight tail present" true
+                (f.Transport.fr_flight <> []);
+              (* The tail must show the sender actually fighting the
+                 link: at least one retransmit among the recent events. *)
+              Alcotest.(check bool) "tail shows retransmissions" true
+                (List.exists
+                   (fun e -> e.Flightrec.ev_kind = Flightrec.Retransmit)
+                   f.Transport.fr_flight);
+              (* And every rendered line is non-empty (the CLI prints
+                 these verbatim in the exit-3 report). *)
+              List.iter
+                (fun e ->
+                  let line = Format.asprintf "%a" Flightrec.pp_event e in
+                  Alcotest.(check bool) "pp_event renders" true (line <> ""))
+                f.Transport.fr_flight);
+    ]
+end
+
 (* Group-independent fault-plan behaviour. *)
 let faultplan_tests =
   [
@@ -300,6 +405,8 @@ module G_dl = (val Dl_group.dl_512 () : Group_intf.GROUP)
 module G_ec = (val Ec_group.ecc_160 () : Group_intf.GROUP)
 module Dl = Conformance (G_dl)
 module Ec = Conformance (G_ec)
+module G_small = (val Dl_group.dl_test_64 () : Group_intf.GROUP)
+module Fl = Flight (G_small)
 
 let () =
   Alcotest.run "chaos"
@@ -307,4 +414,5 @@ let () =
       ("faultplan", faultplan_tests);
       ("dl-512", Dl.cases);
       ("ecc-160", Ec.cases);
+      ("flightrec", Fl.cases);
     ]

@@ -1,0 +1,223 @@
+(* The log-linear histogram under the microscope: bucketing invariants,
+   the advertised <= 1/32 relative quantile error against an exact
+   oracle, merge algebra (associativity/commutativity down to the
+   scalar lanes), and the edge cases the recorder clamps. *)
+
+module Hist = Ppgr_obs.Hist
+
+let with_hists f =
+  Hist.set_enabled true;
+  Fun.protect ~finally:(fun () -> Hist.set_enabled false) f
+
+(* What [record] actually stores: the clamped value. *)
+let clamp v = if v < 0 then 0 else if v > Hist.max_recordable then Hist.max_recordable else v
+
+(* Exact quantile with the histogram's own rank convention:
+   rank = max 1 (ceil (q*n)), 1-indexed into the sorted samples. *)
+let exact_quantile values q =
+  let a = Array.of_list (List.map clamp values) in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  a.(rank - 1)
+
+let value_gen =
+  (* Mix magnitudes: small exact range, mid-range, and huge values near
+     (and beyond) the clamp, so every bucketing regime is exercised. *)
+  QCheck.Gen.(
+    oneof
+      [
+        int_range 0 31;
+        int_range 0 100_000;
+        int_range 0 Hist.max_recordable;
+        map (fun v -> Hist.max_recordable + v) (int_range 0 1_000_000);
+        map (fun v -> -v) (int_range 0 1_000);
+      ])
+
+let values_arb = QCheck.make QCheck.Gen.(list_size (int_range 1 200) value_gen)
+
+let record_all h values = List.iter (fun v -> Hist.record h v) values
+
+let qtest name count arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ---- Bucketing invariants ---- *)
+
+let bucket_suite =
+  [
+    qtest "bounds bracket the value, width <= lo/32" 1000
+      (QCheck.make value_gen)
+      (fun v ->
+        let v = clamp v in
+        let i = Hist.bucket_index v in
+        let lo, hi = Hist.bucket_bounds i in
+        lo <= v && v <= hi
+        && (if v < 32 then lo = hi (* exact region *)
+            else hi - lo <= lo / 32)
+        && i >= 0 && i < Hist.nbuckets);
+    Alcotest.test_case "bucket bounds partition [0, max_recordable]" `Quick
+      (fun () ->
+        (* Consecutive buckets must be adjacent: hi(i) + 1 = lo(i+1). *)
+        let last = Hist.bucket_index Hist.max_recordable in
+        for i = 0 to last - 1 do
+          let _, hi = Hist.bucket_bounds i in
+          let lo', _ = Hist.bucket_bounds (i + 1) in
+          if hi + 1 <> lo' then
+            Alcotest.failf "gap between bucket %d (hi=%d) and %d (lo=%d)" i hi
+              (i + 1) lo'
+        done;
+        let lo0, _ = Hist.bucket_bounds 0 in
+        Alcotest.(check int) "starts at 0" 0 lo0;
+        let _, hi_last = Hist.bucket_bounds last in
+        Alcotest.(check bool) "covers max_recordable" true
+          (hi_last >= Hist.max_recordable));
+  ]
+
+(* ---- Quantile error bound ---- *)
+
+let quantile_suite =
+  [
+    qtest "quantile overestimates by at most 1/32" 500 values_arb (fun values ->
+        with_hists @@ fun () ->
+        let h = Hist.create () in
+        record_all h values;
+        List.for_all
+          (fun q ->
+            let est = Hist.quantile h q in
+            let exact = exact_quantile values q in
+            exact <= est && est - exact <= Stdlib.max 0 (exact / 32) + 0)
+          [ 0.0; 0.5; 0.9; 0.99; 1.0 ]);
+    qtest "count/sum/min/max are exact" 500 values_arb (fun values ->
+        with_hists @@ fun () ->
+        let h = Hist.create () in
+        record_all h values;
+        let cl = List.map clamp values in
+        Hist.count h = List.length cl
+        && Hist.sum h = List.fold_left ( + ) 0 cl
+        && Hist.min_value h = List.fold_left Stdlib.min max_int cl
+        && Hist.max_value h = List.fold_left Stdlib.max (-1) cl);
+  ]
+
+(* ---- Merge algebra ---- *)
+
+let fingerprint h =
+  (* Everything observable: the non-empty buckets plus the scalar lanes. *)
+  (Hist.buckets h, Hist.count h, Hist.sum h, Hist.min_value h, Hist.max_value h)
+
+let of_values values =
+  let h = Hist.create () in
+  record_all h values;
+  h
+
+let merged hs =
+  let acc = Hist.create () in
+  List.iter (fun h -> Hist.merge_into ~into:acc h) hs;
+  acc
+
+let three_lists =
+  QCheck.make
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 50) value_gen)
+        (list_size (int_range 0 50) value_gen)
+        (list_size (int_range 0 50) value_gen))
+
+let merge_suite =
+  [
+    qtest "merge = recording the concatenation" 300 three_lists
+      (fun (a, b, c) ->
+        with_hists @@ fun () ->
+        fingerprint (merged [ of_values a; of_values b; of_values c ])
+        = fingerprint (of_values (a @ b @ c)));
+    qtest "merge is associative" 300 three_lists (fun (a, b, c) ->
+        with_hists @@ fun () ->
+        let ha () = of_values a and hb () = of_values b and hc () = of_values c in
+        let left =
+          let ab = merged [ ha (); hb () ] in
+          merged [ ab; hc () ]
+        in
+        let right =
+          let bc = merged [ hb (); hc () ] in
+          let acc = Hist.create () in
+          Hist.merge_into ~into:acc (ha ());
+          Hist.merge_into ~into:acc bc;
+          acc
+        in
+        fingerprint left = fingerprint right);
+    qtest "merge is commutative" 300 three_lists (fun (a, b, c) ->
+        with_hists @@ fun () ->
+        fingerprint (merged [ of_values a; of_values b; of_values c ])
+        = fingerprint (merged [ of_values c; of_values a; of_values b ]));
+  ]
+
+(* ---- Edge cases ---- *)
+
+let edge_suite =
+  [
+    Alcotest.test_case "empty histogram" `Quick (fun () ->
+        let h = Hist.create () in
+        Alcotest.(check int) "count" 0 (Hist.count h);
+        Alcotest.(check int) "sum" 0 (Hist.sum h);
+        Alcotest.(check int) "p50" 0 (Hist.p50 h);
+        Alcotest.(check int) "p99" 0 (Hist.p99 h);
+        Alcotest.(check int) "max" 0 (Hist.max_value h));
+    Alcotest.test_case "single sample is every quantile" `Quick (fun () ->
+        with_hists @@ fun () ->
+        let h = Hist.create () in
+        Hist.record h 17;
+        List.iter
+          (fun q ->
+            Alcotest.(check int)
+              (Printf.sprintf "q=%.2f" q)
+              17 (Hist.quantile h q))
+          [ 0.0; 0.5; 0.99; 1.0 ]);
+    Alcotest.test_case "negative values clamp to bucket 0" `Quick (fun () ->
+        with_hists @@ fun () ->
+        let h = Hist.create () in
+        Hist.record h (-5);
+        Alcotest.(check int) "count" 1 (Hist.count h);
+        Alcotest.(check int) "min" 0 (Hist.min_value h);
+        Alcotest.(check int) "p50" 0 (Hist.p50 h));
+    Alcotest.test_case "huge values clamp to max_recordable" `Quick (fun () ->
+        with_hists @@ fun () ->
+        let h = Hist.create () in
+        Hist.record h max_int;
+        Alcotest.(check int) "count" 1 (Hist.count h);
+        Alcotest.(check int) "max" Hist.max_recordable (Hist.max_value h);
+        Alcotest.(check bool) "p99 in the top bucket" true
+          (Hist.p99 h >= Hist.max_recordable));
+    Alcotest.test_case "disabled recorder is inert" `Quick (fun () ->
+        Hist.set_enabled false;
+        let h = Hist.create () in
+        Hist.record h 42;
+        Hist.record_us h 42.0;
+        Alcotest.(check int) "count" 0 (Hist.count h));
+    Alcotest.test_case "reset clears counts and scalars" `Quick (fun () ->
+        with_hists @@ fun () ->
+        let h = Hist.create () in
+        Hist.record h 1;
+        Hist.record h 1_000_000;
+        Hist.reset h;
+        Alcotest.(check int) "count" 0 (Hist.count h);
+        Alcotest.(check int) "sum" 0 (Hist.sum h);
+        Alcotest.(check int) "max" 0 (Hist.max_value h));
+    Alcotest.test_case "registry reset_all covers registered histograms"
+      `Quick (fun () ->
+        with_hists @@ fun () ->
+        let h = Hist.create () in
+        Hist.register ~name:"test-hist-tmp" h;
+        Fun.protect ~finally:(fun () -> Hist.unregister ~name:"test-hist-tmp")
+        @@ fun () ->
+        Hist.record h 9;
+        Hist.reset_all ();
+        Alcotest.(check int) "cleared" 0 (Hist.count h));
+  ]
+
+let () =
+  Alcotest.run "hist"
+    [
+      ("buckets", bucket_suite);
+      ("quantiles", quantile_suite);
+      ("merge", merge_suite);
+      ("edges", edge_suite);
+    ]

@@ -406,6 +406,145 @@ let faults_suite =
           s.R.phys_messages);
   ]
 
+(* ---- PR 8 telemetry: flow arrows, Prometheus exposition, and the
+   proof that switching telemetry on cannot change the protocol ---- *)
+
+module Hist = Ppgr_obs.Hist
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let obsv2_spec = "drop=0.1,corrupt=0.1,dup=0.1,delay=0.2,maxdelay=4,seed=obsv2"
+
+(* One faulty run, telemetry on or off.  [on] means the full stack:
+   span capture, histograms, causal ledger. *)
+let run_obsv2 ~telemetry () =
+  let rng = Rng.create ~seed:"obsv2-inv" in
+  let betas = Array.map Bigint.of_int [| 3; 9; 1; 14 |] in
+  let faults = Ppgr_mpcnet.Faultplan.spec_of_string obsv2_spec in
+  if telemetry then begin
+    Hist.set_enabled true;
+    Fun.protect ~finally:(fun () -> Hist.set_enabled false) @@ fun () ->
+    let s, _ = Trace.capture (fun () -> R.run ~faults rng ~l:6 ~betas) in
+    s
+  end
+  else R.run ~faults rng ~l:6 ~betas
+
+let obsv2_suite =
+  [
+    Alcotest.test_case "chrome flow arrows extend the golden exactly" `Quick
+      (fun () ->
+        let spans = golden_spans () in
+        let flow =
+          {
+            Export.flow_name = "msg.compare";
+            flow_id = 3;
+            flow_src_slot = 0;
+            flow_dst_slot = 1;
+            flow_send_us = 101.;
+            flow_recv_us = 106.5;
+            flow_args = [ ("src", Trace.Int 0) ];
+          }
+        in
+        let base = Export.chrome_string spans in
+        let tail = "\n]}\n" in
+        let trunk = String.sub base 0 (String.length base - String.length tail) in
+        let expect =
+          trunk
+          ^ ",\n\
+             {\"name\":\"msg.compare\",\"cat\":\"ppgr.flow\",\"ph\":\"s\",\"id\":3,\"pid\":0,\"tid\":0,\"ts\":101.0,\"args\":{\"src\":0}},\n\
+             {\"name\":\"msg.compare\",\"cat\":\"ppgr.flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":3,\"pid\":0,\"tid\":1,\"ts\":106.5,\"args\":{\"src\":0}}"
+          ^ tail
+        in
+        Alcotest.(check string) "chrome + flows"
+          expect
+          (Export.chrome_string ~flows:[ flow ] spans);
+        (* No flows — byte-identical to the PR 4 exporter. *)
+        Alcotest.(check string) "empty flows is the old golden" base
+          (Export.chrome_string ~flows:[] spans));
+    Alcotest.test_case "prometheus exposition golden families" `Quick
+      (fun () ->
+        Hist.set_enabled true;
+        let h = Hist.create () in
+        Hist.register ~name:"tq.x" h;
+        Metrics.register ~name:"tq-probe" (fun () -> 7);
+        Fun.protect ~finally:(fun () ->
+            Hist.set_enabled false;
+            Hist.unregister ~name:"tq.x";
+            Metrics.unregister ~name:"tq-probe")
+        @@ fun () ->
+        Hist.record h 5;
+        Hist.record h 40;
+        let out = Export.prometheus_string () in
+        Alcotest.(check bool) "counter family" true
+          (contains out "# TYPE ppgr_tq_probe counter\nppgr_tq_probe 7\n");
+        Alcotest.(check bool) "histogram family (cumulative buckets)" true
+          (contains out
+             "# TYPE ppgr_tq_x histogram\n\
+              ppgr_tq_x_bucket{le=\"5\"} 1\n\
+              ppgr_tq_x_bucket{le=\"40\"} 2\n\
+              ppgr_tq_x_bucket{le=\"+Inf\"} 2\n\
+              ppgr_tq_x_sum 45\n\
+              ppgr_tq_x_count 2\n"));
+    Alcotest.test_case "telemetry leaves the transcript untouched" `Quick
+      (fun () ->
+        let off = run_obsv2 ~telemetry:false () in
+        let on = run_obsv2 ~telemetry:true () in
+        Alcotest.(check string) "same physical transcript"
+          off.R.transcript_sha on.R.transcript_sha;
+        Alcotest.(check (array int)) "same ranks" off.R.ranks on.R.ranks;
+        Alcotest.(check int) "same retransmits" off.R.retransmits
+          on.R.retransmits);
+    Alcotest.test_case "causal ledger is complete and causal" `Quick
+      (fun () ->
+        let off = run_obsv2 ~telemetry:false () in
+        Alcotest.(check int) "no tracing, no ledger" 0
+          (List.length off.R.flows);
+        let on = run_obsv2 ~telemetry:true () in
+        Alcotest.(check int) "one flow per logical message" on.R.messages
+          (List.length on.R.flows);
+        List.iter
+          (fun (f : Transport.flow) ->
+            if f.Transport.fl_recv_us < f.Transport.fl_send_us then
+              Alcotest.failf "flow %s seq=%d received before sent"
+                f.Transport.fl_step f.Transport.fl_seq;
+            if f.Transport.fl_step = "" then
+              Alcotest.fail "flow missing its protocol step")
+          on.R.flows);
+    Alcotest.test_case "summary table carries env_bytes and retransmits"
+      `Quick (fun () ->
+        (* Satellite of §5i: the per-phase table's physical columns tile
+           the transport's own counters, retransmissions included. *)
+        let rng = Rng.create ~seed:"obsv2-inv" in
+        let betas = Array.map Bigint.of_int [| 3; 9; 1; 14 |] in
+        let faults = Ppgr_mpcnet.Faultplan.spec_of_string obsv2_spec in
+        let s, spans = Trace.capture (fun () -> R.run ~faults rng ~l:6 ~betas) in
+        let rows = Summary.rows spans in
+        Alcotest.(check bool) "run retransmitted" true (s.R.retransmits > 0);
+        Alcotest.(check int) "retransmits column tiles" s.R.retransmits
+          (Summary.total rows "retransmits");
+        Alcotest.(check int) "env_bytes column tiles"
+          (s.R.phys_messages * Wire.envelope_overhead)
+          (Summary.total rows "env_bytes"));
+    Alcotest.test_case "per-link tallies tile the physical counters" `Quick
+      (fun () ->
+        let s = run_obsv2 ~telemetry:false () in
+        let sum f = List.fold_left (fun a lk -> a + f lk) 0 s.R.links in
+        Alcotest.(check bool) "hostile enough to retransmit" true
+          (s.R.retransmits > 0);
+        Alcotest.(check int) "messages tile"
+          s.R.phys_messages
+          (sum (fun lk -> lk.Transport.lk_msgs));
+        Alcotest.(check int) "bytes tile"
+          s.R.phys_bytes
+          (sum (fun lk -> lk.Transport.lk_bytes));
+        Alcotest.(check int) "retransmits tile"
+          s.R.retransmits
+          (sum (fun lk -> lk.Transport.lk_retrans)));
+  ]
+
 (* ---- Golden transcript pins: hoisted labels are byte-identical ---- *)
 
 (* These fingerprints were captured on the pre-hoisting code (labels
@@ -475,5 +614,6 @@ let () =
       ("exporters", exporter_suite);
       ("netsim-edges", netsim_suite);
       ("faults", faults_suite);
+      ("obsv2", obsv2_suite);
       ("golden-labels", golden_suite);
     ]
