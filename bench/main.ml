@@ -6,9 +6,11 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig3a   # a subset
    Sections: calibrate fig2 fig3a fig3b analysis ablations micro trajectory
-   scaling obs ring chaos limbs exp obsv2, plus scaling-smoke, ring-smoke,
-   chaos-smoke, limbs-smoke, exp-smoke and obsv2-smoke (the cheap CI
-   determinism checks, not part of the default set) *)
+   scaling obs ring chaos limbs exp obsv2 shard, plus scaling-smoke,
+   ring-smoke, chaos-smoke, limbs-smoke, exp-smoke, obsv2-smoke and
+   shard-smoke (the cheap CI determinism checks, not part of the default
+   set).  "shard" is also excluded from the default set: its 10k-point
+   leg runs for an hour-plus on one core (PPGR_SHARD_BENCH_N shrinks it). *)
 
 let sections_requested =
   match Array.to_list Sys.argv with
@@ -59,10 +61,12 @@ let () =
   if want "limbs" then Limbs.run ();
   if want "exp" then Exp.run ();
   if want "obsv2" then Obsv2.run ();
+  if want "shard" then Shard.run ();
   if want "scaling-smoke" then Scaling.smoke ();
   if want "ring-smoke" then Ring.smoke ();
   if want "chaos-smoke" then Chaos.smoke ();
   if want "limbs-smoke" then Limbs.smoke ();
   if want "exp-smoke" then Exp.smoke ();
   if want "obsv2-smoke" then Obsv2.smoke ();
+  if want "shard-smoke" then Shard.smoke ();
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,438 @@
+(* Committee-sharded ranking bench: writes BENCH_PR9.json, the
+   trajectory record for breaking the quadratic ring.
+
+   Three legs:
+   - determinism: the sharded orchestrator's transcript digest (per-
+     shard wire digests chained with the merge outcome) is byte-
+     identical at jobs in {1, 2, 4}, and the sharded winner set equals
+     the monolithic ranking's top k.  Hard failure on any mismatch.
+   - crossover: the quadratic-vs-sharded curve on the test group —
+     measured total group ops (monolithic vs sharded + merge field
+     mults) per n, against the Shard_model predictions, with the
+     crossover n* located under both the calibrated real prices and
+     the synthetic pricing the unit test uses.  At real prices a field
+     multiplication is orders of magnitude cheaper than a group
+     operation, so sharding wins almost immediately (n* = s + 1); the
+     synthetic pricing makes the trade visible.
+   - scale: the 10k-participant end-to-end point on ECC-160 at
+     s = 16 — per-shard wall statistics, merge wall, total group ops
+     (~O(n s l), vs the monolithic O(n^2 l)), and the fan-in tree
+     simulation.  PPGR_SHARD_BENCH_N / PPGR_SHARD_BENCH_L override the
+     point for constrained runners; the JSON records what actually ran. *)
+
+open Ppgr_bigint
+open Ppgr_grouprank
+module Pool = Ppgr_exec.Pool
+module Engine = Ppgr_shamir.Engine
+
+let json_path = "BENCH_PR9.json"
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+(* Distinct betas: a permutation of 0..n-1, so the clear top-k is
+   unambiguous and the monolithic differential check is exact. *)
+let distinct_betas rng n =
+  let l = Stdlib.max 1 (Bigint.numbits (Bigint.of_int (n - 1))) in
+  let perm = Ppgr_rng.Rng.permutation rng n in
+  (l, Array.map Bigint.of_int perm)
+
+let clear_top_k ~k (betas : Bigint.t array) =
+  let idx = Array.init (Array.length betas) Fun.id in
+  Array.sort
+    (fun a b ->
+      match Bigint.compare betas.(b) betas.(a) with 0 -> compare a b | c -> c)
+    idx;
+  let w = Array.sub idx 0 k in
+  Array.sort compare w;
+  w
+
+(* -------- determinism leg (test group) -------- *)
+
+type det_point = { dp_jobs : int; dp_sha : string; dp_winners : int array }
+
+let determinism () =
+  let module G = (val Ppgr_group.Dl_group.dl_test_64 ()) in
+  let module S = Shard.Make (G) in
+  let module RT = Runtime.Make (G) in
+  let n = 24 and shard_size = 6 and k = 5 and committee = 3 in
+  let rng () = Ppgr_rng.Rng.create ~seed:"ppgr-bench-shard-det" in
+  let l, betas = distinct_betas (rng ()) n in
+  let points =
+    List.map
+      (fun jobs ->
+        Pool.set_jobs jobs;
+        Fun.protect ~finally:(fun () -> Pool.set_jobs 1) @@ fun () ->
+        let r = S.run ~shard_size ~committee ~k (rng ()) ~l ~betas in
+        Printf.printf "jobs=%d  transcript %s\n%!" jobs r.Shard.transcript_sha;
+        {
+          dp_jobs = jobs;
+          dp_sha = r.Shard.transcript_sha;
+          dp_winners = r.Shard.winners;
+        })
+      [ 1; 2; 4 ]
+  in
+  let base = List.hd points in
+  List.iter
+    (fun p ->
+      if p.dp_sha <> base.dp_sha then
+        failwith
+          (Printf.sprintf "shard bench: jobs=%d transcript differs" p.dp_jobs);
+      if p.dp_winners <> base.dp_winners then
+        failwith
+          (Printf.sprintf "shard bench: jobs=%d winners differ" p.dp_jobs))
+    points;
+  (* Differential: the sharded winner set is the monolithic top k. *)
+  let mono = RT.run (rng ()) ~l ~betas in
+  let mono_top =
+    Array.of_list
+      (List.filter (fun j -> mono.RT.ranks.(j) <= k) (List.init n Fun.id))
+  in
+  if base.dp_winners <> mono_top then
+    failwith "shard bench: sharded winners differ from the monolithic top k";
+  if base.dp_winners <> clear_top_k ~k betas then
+    failwith "shard bench: winners differ from the clear top k";
+  Printf.printf
+    "transcripts identical at jobs {1,2,4}; winners = monolithic top-%d: ok\n%!"
+    k;
+  (n, shard_size, k, committee, base.dp_sha)
+
+(* -------- crossover leg (test group) -------- *)
+
+type curve_point = {
+  cp_n : int;
+  cp_mono_ops : int;
+  cp_mono_wall_s : float;
+  cp_shard_ops : int;
+  cp_merge_mults : int;
+  cp_shard_wall_s : float;
+  cp_pred_mono : float;
+  cp_pred_shard : float;
+  cp_pred_merge : float;
+}
+
+let crossover_curve () =
+  let module G = (val Ppgr_group.Dl_group.dl_test_64 ()) in
+  let module S = Shard.Make (G) in
+  let l = 4 and shard_size = 4 and k = 2 and committee = 3 in
+  let fit_rng = Ppgr_rng.Rng.create ~seed:"ppgr-bench-shard-fit" in
+  let m = Cost_model.Shard_model.fit ~committee fit_rng ~l in
+  let ns = [ 5; 6; 8; 10; 12; 14; 16; 20; 24 ] in
+  Printf.printf "%4s %12s %12s %12s %12s %12s\n%!" "n" "mono_ops"
+    "shard_ops" "merge_mults" "pred_mono" "pred_shard";
+  let curve =
+    List.map
+      (fun n ->
+        let rng tag =
+          Ppgr_rng.Rng.create ~seed:(Printf.sprintf "ppgr-bench-shard-%s-%d" tag n)
+        in
+        (* l-bit betas (duplicates fine: this leg measures ops, the
+           determinism leg already checked winners). *)
+        let betas =
+          Array.init n (fun _ -> Ppgr_rng.Rng.bigint_bits (rng "betas") l)
+        in
+        let t0 = Unix.gettimeofday () in
+        let mono_ops =
+          Cost_model.Shard_model.measure_total_ops (rng "mono") ~l ~n
+        in
+        let mono_wall = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let r = S.run ~shard_size ~committee ~k (rng "shard") ~l ~betas in
+        let shard_wall = Unix.gettimeofday () -. t1 in
+        let merge_mults = r.Shard.merge.Shard.merge_costs.Engine.c_field_mults in
+        let p =
+          {
+            cp_n = n;
+            cp_mono_ops = mono_ops;
+            cp_mono_wall_s = mono_wall;
+            cp_shard_ops = r.Shard.group_ops;
+            cp_merge_mults = merge_mults;
+            cp_shard_wall_s = shard_wall;
+            cp_pred_mono = Cost_model.Shard_model.predict_mono_ops m ~n;
+            cp_pred_shard =
+              Cost_model.Shard_model.predict_sharded_ops m ~n ~shard_size;
+            cp_pred_merge =
+              Cost_model.Shard_model.predict_merge_mults m ~n ~shard_size ~k;
+          }
+        in
+        Printf.printf "%4d %12d %12d %12d %12.0f %12.0f\n%!" n mono_ops
+          p.cp_shard_ops merge_mults p.cp_pred_mono p.cp_pred_shard;
+        p)
+      ns
+  in
+  (* Calibrate both currencies on this machine, from the largest curve
+     point: seconds per group op from the monolithic run, seconds per
+     field multiplication from a timed merge. *)
+  let last = List.nth curve (List.length curve - 1) in
+  let sec_per_op = last.cp_mono_wall_s /. float_of_int last.cp_mono_ops in
+  let cal_rng = Ppgr_rng.Rng.create ~seed:"ppgr-bench-shard-cal" in
+  let cands =
+    Array.init 64 (fun i -> (i, Bigint.of_int i))
+  in
+  let t0 = Unix.gettimeofday () in
+  let st = Shard.merge_top_k cal_rng ~l ~committee ~k:8 ~candidates:cands in
+  let merge_wall = Unix.gettimeofday () -. t0 in
+  let sec_per_field_mult =
+    merge_wall /. float_of_int st.Shard.merge_costs.Engine.c_field_mults
+  in
+  let crossover_at ~sec_per_op ~sec_per_field_mult =
+    Cost_model.Shard_model.crossover m ~shard_size ~k ~sec_per_op
+      ~sec_per_field_mult
+  in
+  let measured_crossover ~sec_per_op ~sec_per_field_mult =
+    (* Smallest curve n from which sharded stays cheaper (priced). *)
+    let priced_cheaper p =
+      (float_of_int p.cp_shard_ops *. sec_per_op)
+      +. (float_of_int p.cp_merge_mults *. sec_per_field_mult)
+      < float_of_int p.cp_mono_ops *. sec_per_op
+    in
+    let rec scan = function
+      | p :: rest when priced_cheaper p && List.for_all priced_cheaper rest ->
+          Some p.cp_n
+      | _ :: rest -> scan rest
+      | [] -> None
+    in
+    scan curve
+  in
+  let real_pred = crossover_at ~sec_per_op ~sec_per_field_mult in
+  let real_meas = measured_crossover ~sec_per_op ~sec_per_field_mult in
+  (* The unit-test pricing (test_shard.ml): group op 1.0, field mult
+     2.0 — synthetic units that keep the crossover interior. *)
+  let syn_pred = crossover_at ~sec_per_op:1.0 ~sec_per_field_mult:2.0 in
+  let syn_meas = measured_crossover ~sec_per_op:1.0 ~sec_per_field_mult:2.0 in
+  let show = function None -> "none" | Some n -> string_of_int n in
+  Printf.printf
+    "calibration: %.3g s/group-op, %.3g s/field-mult\n\
+     crossover n* (real prices):      predicted %s, measured %s\n\
+     crossover n* (synthetic 1:2):    predicted %s, measured %s\n\
+     %!"
+    sec_per_op sec_per_field_mult (show real_pred) (show real_meas)
+    (show syn_pred) (show syn_meas);
+  ( curve,
+    m,
+    (shard_size, k, committee, l),
+    (sec_per_op, sec_per_field_mult),
+    (real_pred, real_meas),
+    (syn_pred, syn_meas) )
+
+(* -------- scale leg (ECC-160) -------- *)
+
+type scale_point = {
+  sp_n : int;
+  sp_l : int;
+  sp_shard_size : int;
+  sp_committee : int;
+  sp_k : int;
+  sp_shards : int;
+  sp_wall_s : float;
+  sp_shard_wall_total_s : float;
+  sp_shard_wall_mean_s : float;
+  sp_shard_wall_max_s : float;
+  sp_merge_wall_s : float;
+  sp_merge_candidates : int;
+  sp_merge_field_mults : int;
+  sp_group_ops : int;
+  sp_winners : int array;
+  sp_sha : string;
+  sp_sim_elapsed_s : float;
+  sp_sim_bytes : int;
+  sp_sim_rounds : int;
+}
+
+let scale_point () =
+  let n = env_int "PPGR_SHARD_BENCH_N" 10_000 in
+  let l = env_int "PPGR_SHARD_BENCH_L" 4 in
+  let shard_size = 16 and committee = 5 and k = 10 in
+  let module G = (val Ppgr_group.Ec_group.ecc_160 ()) in
+  let module S = Shard.Make (G) in
+  let rng = Ppgr_rng.Rng.create ~seed:"ppgr-bench-shard-10k" in
+  let betas =
+    Array.init n (fun _ -> Ppgr_rng.Rng.bigint_bits rng l)
+  in
+  Printf.printf
+    "ranking n=%d on %s: s=%d, committee=%d, k=%d, l=%d (this is the long \
+     leg)\n\
+     %!"
+    n G.name shard_size committee k l;
+  let t0 = Unix.gettimeofday () in
+  let r = S.run ~shard_size ~committee ~k rng ~l ~betas in
+  let wall = Unix.gettimeofday () -. t0 in
+  let walls =
+    Array.map (fun (s : Shard.shard_stat) -> s.Shard.shard_wall_s)
+      r.Shard.shard_stats
+  in
+  let total = Array.fold_left ( +. ) 0. walls in
+  let mx = Array.fold_left Stdlib.max 0. walls in
+  let count = Array.length walls in
+  (* Merge wall re-timed here (Hist gating keeps it 0 inside run). *)
+  let tm = Unix.gettimeofday () in
+  let merge_rerun =
+    Shard.merge_top_k
+      (Ppgr_rng.Rng.create ~seed:"ppgr-bench-shard-10k-merge")
+      ~l ~committee ~k
+      ~candidates:
+        (Array.map
+           (fun p -> (p, betas.(p)))
+           r.Shard.merge.Shard.candidates)
+  in
+  let merge_wall = Unix.gettimeofday () -. tm in
+  ignore merge_rerun;
+  let sim = S.simulate_fan_in r in
+  Printf.printf
+    "done: wall %.1f s (shards %.1f s total, %.3f s mean, %.3f s max; merge \
+     %.3f s)\n\
+     group mults %d, transcript %s\n\
+     fan-in tree: %.1f s simulated, %d bytes, %d rounds\n\
+     %!"
+    wall total
+    (total /. float_of_int count)
+    mx merge_wall r.Shard.group_ops r.Shard.transcript_sha
+    sim.Ppgr_mpcnet.Netsim.elapsed_s sim.Ppgr_mpcnet.Netsim.bytes_sent
+    sim.Ppgr_mpcnet.Netsim.rounds;
+  {
+    sp_n = n;
+    sp_l = l;
+    sp_shard_size = shard_size;
+    sp_committee = committee;
+    sp_k = k;
+    sp_shards = count;
+    sp_wall_s = wall;
+    sp_shard_wall_total_s = total;
+    sp_shard_wall_mean_s = total /. float_of_int count;
+    sp_shard_wall_max_s = mx;
+    sp_merge_wall_s = merge_wall;
+    sp_merge_candidates = Array.length r.Shard.merge.Shard.candidates;
+    sp_merge_field_mults = r.Shard.merge.Shard.merge_costs.Engine.c_field_mults;
+    sp_group_ops = r.Shard.group_ops;
+    sp_winners = r.Shard.winners;
+    sp_sha = r.Shard.transcript_sha;
+    sp_sim_elapsed_s = sim.Ppgr_mpcnet.Netsim.elapsed_s;
+    sp_sim_bytes = sim.Ppgr_mpcnet.Netsim.bytes_sent;
+    sp_sim_rounds = sim.Ppgr_mpcnet.Netsim.rounds;
+  }
+
+(* -------- JSON + entry points -------- *)
+
+let opt_int = function None -> "null" | Some n -> string_of_int n
+
+let run () =
+  Printf.printf "\n== Committee-sharded ranking (%s) ==\n%!" json_path;
+  Printf.printf "cores detected: %d\n%!" (Domain.recommended_domain_count ());
+  Printf.printf "\n-- determinism (DL-test-64) --\n%!";
+  let det_n, det_s, det_k, det_m, det_sha = determinism () in
+  Printf.printf "\n-- crossover curve (DL-test-64) --\n%!";
+  let ( curve,
+        model,
+        (cx_s, cx_k, cx_m, cx_l),
+        (sec_per_op, sec_per_field_mult),
+        (real_pred, real_meas),
+        (syn_pred, syn_meas) ) =
+    crossover_curve ()
+  in
+  Printf.printf "\n-- 10k end-to-end (ECC-160) --\n%!";
+  let sp = scale_point () in
+  let oc = open_out json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 9,\n";
+  out
+    "  \"description\": \"committee-sharded ranking: bounded rings + \
+     secret-shared top-k merge; group work O(n s l) vs the monolithic \
+     O(n^2 l)\",\n";
+  out "  \"cores_detected\": %d,\n" (Domain.recommended_domain_count ());
+  out
+    "  \"determinism\": {\"group\": \"DL-test-64\", \"n\": %d, \
+     \"shard_size\": %d, \"k\": %d, \"committee\": %d, \
+     \"transcript_digest\": %S, \
+     \"identical_across_jobs_1_2_4\": true, \
+     \"winners_equal_monolithic_top_k\": true},\n"
+    det_n det_s det_k det_m det_sha;
+  out "  \"crossover\": {\n";
+  out
+    "    \"group\": \"DL-test-64\", \"l\": %d, \"shard_size\": %d, \
+     \"k\": %d, \"committee\": %d,\n"
+    cx_l cx_s cx_k cx_m;
+  let a, b, c = model.Cost_model.Shard_model.total_q in
+  out
+    "    \"model\": {\"total_ops_quadratic_in_n_minus_1\": [%.4f, %.4f, \
+     %.4f], \"merge_mults_per_candidate\": %.1f},\n"
+    a b c model.Cost_model.Shard_model.merge_mults_per_cand;
+  out
+    "    \"calibration\": {\"sec_per_group_op\": %.4g, \
+     \"sec_per_field_mult\": %.4g},\n"
+    sec_per_op sec_per_field_mult;
+  out
+    "    \"crossover_n_real_prices\": {\"predicted\": %s, \"measured\": \
+     %s},\n"
+    (opt_int real_pred) (opt_int real_meas);
+  out
+    "    \"crossover_n_synthetic_1_to_2\": {\"predicted\": %s, \
+     \"measured\": %s},\n"
+    (opt_int syn_pred) (opt_int syn_meas);
+  out "    \"curve\": [\n";
+  List.iteri
+    (fun i p ->
+      out
+        "      {\"n\": %d, \"mono_group_ops\": %d, \"mono_wall_s\": %.4f, \
+         \"sharded_group_ops\": %d, \"merge_field_mults\": %d, \
+         \"sharded_wall_s\": %.4f, \"predicted_mono_ops\": %.0f, \
+         \"predicted_sharded_ops\": %.0f, \"predicted_merge_mults\": \
+         %.0f}%s\n"
+        p.cp_n p.cp_mono_ops p.cp_mono_wall_s p.cp_shard_ops p.cp_merge_mults
+        p.cp_shard_wall_s p.cp_pred_mono p.cp_pred_shard p.cp_pred_merge
+        (if i = List.length curve - 1 then "" else ","))
+    curve;
+  out "    ]\n";
+  out "  },\n";
+  out "  \"scale\": {\n";
+  out
+    "    \"group\": \"ECC-160\", \"n\": %d, \"l\": %d, \"shard_size\": %d, \
+     \"committee\": %d, \"k\": %d, \"shards\": %d,\n"
+    sp.sp_n sp.sp_l sp.sp_shard_size sp.sp_committee sp.sp_k sp.sp_shards;
+  out
+    "    \"wall_s\": %.1f, \"shard_wall_total_s\": %.1f, \
+     \"shard_wall_mean_s\": %.4f, \"shard_wall_max_s\": %.4f, \
+     \"merge_wall_s\": %.4f,\n"
+    sp.sp_wall_s sp.sp_shard_wall_total_s sp.sp_shard_wall_mean_s
+    sp.sp_shard_wall_max_s sp.sp_merge_wall_s;
+  out
+    "    \"merge_candidates\": %d, \"merge_field_mults\": %d, \
+     \"total_group_mults\": %d,\n"
+    sp.sp_merge_candidates sp.sp_merge_field_mults sp.sp_group_ops;
+  out "    \"winners\": [%s],\n"
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int sp.sp_winners)));
+  out "    \"transcript_digest\": %S,\n" sp.sp_sha;
+  out
+    "    \"fan_in_tree\": {\"elapsed_s\": %.1f, \"bytes\": %d, \"rounds\": \
+     %d}\n"
+    sp.sp_sim_elapsed_s sp.sp_sim_bytes sp.sp_sim_rounds;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path
+
+(* The cheap CI variant: determinism + differential on the test group
+   only, no file, a few seconds. *)
+let smoke () =
+  Printf.printf "\n== Shard smoke (DL-test-64, jobs 1 vs 4) ==\n%!";
+  let module G = (val Ppgr_group.Dl_group.dl_test_64 ()) in
+  let module S = Shard.Make (G) in
+  let n = 16 and shard_size = 4 and k = 3 and committee = 3 in
+  let rng () = Ppgr_rng.Rng.create ~seed:"ppgr-shard-smoke" in
+  let l, betas = distinct_betas (rng ()) n in
+  let run jobs =
+    Pool.set_jobs jobs;
+    Fun.protect ~finally:(fun () -> Pool.set_jobs 1) @@ fun () ->
+    let r = S.run ~shard_size ~committee ~k (rng ()) ~l ~betas in
+    Printf.printf "jobs=%d  transcript %s\n%!" jobs r.Shard.transcript_sha;
+    r
+  in
+  let r1 = run 1 and r4 = run 4 in
+  if r1.Shard.transcript_sha <> r4.Shard.transcript_sha then
+    failwith "shard smoke: transcript differs across job counts";
+  if r1.Shard.winners <> r4.Shard.winners then
+    failwith "shard smoke: winners differ across job counts";
+  if r1.Shard.winners <> clear_top_k ~k betas then
+    failwith "shard smoke: winners differ from the clear top k";
+  Printf.printf "transcripts identical, winners = clear top-%d: ok\n%!" k

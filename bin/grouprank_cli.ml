@@ -3,12 +3,14 @@
 
    Subcommands:
      run       run a full ranking on synthetic or file-given inputs
+     rank      committee-sharded ranking (near-linear in n)
      simulate  run the framework over the simulated network topology
      inspect   print group/parameter information
 
    Examples:
      grouprank_cli run --group ecc-160 -n 8 -k 3 --seed demo
      grouprank_cli run --group dl-1024 --spec 6,3,8,4 -n 5 --verbose
+     grouprank_cli rank --group ecc-160 -n 200 -k 10 --shard-size 16
      grouprank_cli simulate -n 20 --nodes 40 --edges 90
      grouprank_cli inspect --group ecc-256 *)
 
@@ -361,6 +363,108 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults
   unregister_probes ();
   if code <> 0 then exit code
 
+let shards_arg =
+  let doc =
+    "Number of shards (rings).  Mutually exclusive with $(b,--shard-size): \
+     the bound s is derived as ceil(n / shards)."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"S" ~doc)
+
+let shard_size_arg =
+  let doc = "Maximum participants per shard ring (the bound s)." in
+  Arg.(value & opt (some int) None & info [ "shard-size" ] ~docv:"SIZE" ~doc)
+
+let committee_arg =
+  let doc = "Merge committee size m (threshold (m-1)/2 honest-but-curious)." in
+  Arg.(value & opt int 5 & info [ "committee" ] ~docv:"M" ~doc)
+
+(* Committee-sharded ranking: the quadratic ring broken into rings of
+   bounded size plus a secure top-k merge (lib/grouprank/shard.ml).
+   Near-linear in n — this is the subcommand that ranks 10k+. *)
+let rank_cmd group_name n k seed spec_s jobs shards shard_size committee
+    metrics =
+  apply_jobs jobs;
+  let shard_size =
+    match (shards, shard_size) with
+    | Some _, Some _ -> failwith "--shards and --shard-size are mutually exclusive"
+    | Some s, None ->
+        if s < 1 then failwith "--shards must be >= 1";
+        Stdlib.max 2 ((n + s - 1) / s)
+    | None, Some sz -> sz
+    | None, None -> 16
+  in
+  let rng = Ppgr_rng.Rng.create ~seed in
+  let spec = parse_spec spec_s in
+  let criterion = Attrs.random_criterion rng spec in
+  let infos = Array.init n (fun _ -> Attrs.random_info rng spec) in
+  let gains = Array.map (Attrs.gain spec criterion) infos in
+  let lo = Array.fold_left Stdlib.min 0 gains in
+  let betas =
+    Array.map (fun g -> Ppgr_bigint.Bigint.of_int (g - lo)) gains
+  in
+  let l =
+    Array.fold_left
+      (fun a b -> Stdlib.max a (Ppgr_bigint.Bigint.numbits b))
+      1 betas
+  in
+  let group = group_of_name group_name in
+  let module G = (val group) in
+  let module S = Shard.Make (G) in
+  Printf.printf
+    "group: %s, participants: %d, k: %d, shard bound s: %d, committee: %d\n"
+    G.name n k shard_size committee;
+  let t0 = Unix.gettimeofday () in
+  let res, spans =
+    if metrics then
+      Ppgr_obs.Trace.capture (fun () ->
+          S.run ~shard_size ~committee ~k rng ~l ~betas)
+    else (S.run ~shard_size ~committee ~k rng ~l ~betas, [])
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let plan = res.Shard.plan in
+  Printf.printf "shards: %d (sizes %s)\n"
+    (Shard.shards plan)
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int (Shard.sizes plan))));
+  Printf.printf "winners (top-%d, membership only): %s\n" k
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (fun p -> Printf.sprintf "P%d" (p + 1)) res.Shard.winners)));
+  Printf.printf "\nper-shard:\n";
+  Printf.printf "  %5s %5s %10s %14s %12s  %s\n" "shard" "size" "wall_s"
+    "group_mults" "bytes" "transcript sha256";
+  Array.iter
+    (fun (s : Shard.shard_stat) ->
+      Printf.printf "  %5d %5d %10.3f %14d %12d  %s\n" s.Shard.shard
+        s.Shard.size s.Shard.shard_wall_s s.Shard.shard_group_ops
+        s.Shard.shard_bytes s.Shard.shard_sha)
+    res.Shard.shard_stats;
+  let mc = res.Shard.merge.Shard.merge_costs in
+  Printf.printf
+    "\nmerge: %d candidates -> %d winners on a %d-party committee\n"
+    (Array.length res.Shard.merge.Shard.candidates)
+    (Array.length res.Shard.winners)
+    res.Shard.merge.Shard.committee;
+  Printf.printf
+    "  field mults: %d, rounds: %d, elements: %d, opens: %d, wall: %.3f s\n"
+    mc.Ppgr_shamir.Engine.c_mults mc.Ppgr_shamir.Engine.c_rounds
+    mc.Ppgr_shamir.Engine.c_elements mc.Ppgr_shamir.Engine.c_opens
+    res.Shard.merge.Shard.merge_wall_s;
+  Printf.printf "\ntotal group mults: %d\n" res.Shard.group_ops;
+  Printf.printf "transcript sha256: %s\n" res.Shard.transcript_sha;
+  let st = S.simulate_fan_in res in
+  Printf.printf
+    "fan-in tree (root + %d aggregators): elapsed %.2f s, %d messages, %d bytes, %d rounds\n"
+    (Shard.shards plan) st.Ppgr_mpcnet.Netsim.elapsed_s
+    st.Ppgr_mpcnet.Netsim.message_count st.Ppgr_mpcnet.Netsim.bytes_sent
+    st.Ppgr_mpcnet.Netsim.rounds;
+  if metrics then begin
+    let rows = Ppgr_obs.Summary.by_shard spans in
+    Printf.printf "\nper-shard metrics roll-up:\n%s"
+      (Ppgr_obs.Summary.to_string rows)
+  end;
+  Printf.printf "\nwall clock: %.3f s\n" dt
+
 let simulate_cmd group_name n k seed nodes edges jobs metrics =
   apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
@@ -421,6 +525,11 @@ let run_term =
     $ verbose_arg $ jobs_arg $ trace_arg $ jsonl_arg $ metrics_arg
     $ faults_arg $ stats_out_arg)
 
+let rank_term =
+  Term.(
+    const rank_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ spec_arg
+    $ jobs_arg $ shards_arg $ shard_size_arg $ committee_arg $ metrics_arg)
+
 let nodes_arg =
   Arg.(value & opt int 80 & info [ "nodes" ] ~docv:"V" ~doc:"Topology nodes.")
 
@@ -443,6 +552,9 @@ let () =
     Cmd.group info_
       [
         Cmd.v (Cmd.info "run" ~doc:"Run a ranking end to end") run_term;
+        Cmd.v
+          (Cmd.info "rank" ~doc:"Committee-sharded ranking (near-linear in n)")
+          rank_term;
         Cmd.v (Cmd.info "simulate" ~doc:"Run over the simulated network") simulate_term;
         Cmd.v (Cmd.info "inspect" ~doc:"Print group parameters") inspect_term;
       ]

@@ -193,6 +193,123 @@ module He_model = struct
     keyrounds @ [ encrypt_round; to_p1 ] @ ring @ [ final ]
 end
 
+module Shard_model = struct
+  (** Shard-aware cost model: per-shard quadratic plus merge term.
+
+      The committee-sharded mode replaces one [n]-party ring with
+      [ceil(n/s)] rings of [<= s] parties plus a secret-shared top-k
+      merge over the shard representatives.  Group work is the sum of
+      per-shard quadratics — effectively linear in [n] for fixed [s] —
+      and the merge adds field multiplications linear in the candidate
+      count.  This model fits both terms from instrumented runs on the
+      test group and locates the quadratic-vs-sharded crossover [n*]
+      that the bench measures. *)
+
+  type t = {
+    l : int;
+    total_q : float * float * float;
+        (* TOTAL group ops of one distributed run (all parties summed)
+           vs (n-1), fitted through measured sizes *)
+    merge_mults_per_cand : float;
+        (* committee field multiplications per merge candidate; the
+           binary search probes all candidates each round, so the cost
+           is linear in candidates and k-independent *)
+    committee : int;
+  }
+
+  (* One instrumented distributed run on the test group; returns the
+     total group-op count, the quantity Shard.run accounts per shard. *)
+  let measure_total_ops rng ~l ~n =
+    let module G = (val Ppgr_group.Dl_group.dl_test_64 ()) in
+    let module RT = Runtime.Make (G) in
+    let betas =
+      Array.init n (fun _ -> Rng.bigint_below rng (Bigint.nth_bit_weight l))
+    in
+    let s = G.op_snapshot () in
+    ignore (RT.run rng ~l ~betas);
+    G.ops_since s
+
+  let fit ?(ns = [ 3; 4; 5 ]) ?(committee = 3) ?(r0 = 8) rng ~l =
+    let pts =
+      List.map (fun n -> (n - 1, float_of_int (measure_total_ops rng ~l ~n))) ns
+    in
+    let total_q =
+      match pts with
+      | [ p1; p2; p3 ] -> quadratic_through p1 p2 p3
+      | _ -> invalid_arg "Shard_model.fit: need exactly three fit sizes"
+    in
+    let candidates =
+      Array.init r0 (fun i ->
+          (i, Rng.bigint_below rng (Bigint.nth_bit_weight l)))
+    in
+    let st =
+      Shard.merge_top_k rng ~l ~committee ~k:(Stdlib.max 1 (r0 / 2)) ~candidates
+    in
+    {
+      l;
+      total_q;
+      merge_mults_per_cand =
+        float_of_int st.Shard.merge_costs.Engine.c_field_mults /. float_of_int r0;
+      committee;
+    }
+
+  (* Balanced shard sizes, mirroring Shard.make_plan. *)
+  let shard_sizes ~n ~shard_size =
+    let count = (n + shard_size - 1) / shard_size in
+    let base = n / count and extra = n mod count in
+    List.init count (fun i -> if i < extra then base + 1 else base)
+
+  (** Total group ops of one monolithic [n]-party run. *)
+  let predict_mono_ops m ~n = eval_quadratic m.total_q (n - 1)
+
+  (** Total group ops of the sharded mode: the per-shard quadratic
+      summed over the balanced partition (singleton shards run no
+      ring). *)
+  let predict_sharded_ops m ~n ~shard_size =
+    List.fold_left
+      (fun acc size -> if size < 2 then acc else acc +. eval_quadratic m.total_q (size - 1))
+      0.
+      (shard_sizes ~n ~shard_size)
+
+  (** Committee field multiplications of the merge: candidates are the
+      per-shard top-[min(k, size)] members. *)
+  let predict_merge_mults m ~n ~shard_size ~k =
+    let cands =
+      List.fold_left
+        (fun acc size -> acc + Stdlib.min k size)
+        0
+        (shard_sizes ~n ~shard_size)
+    in
+    float_of_int cands *. m.merge_mults_per_cand
+
+  (** End-to-end cost in seconds(-equivalent units): group ops and
+      field multiplications are different currencies, so the crossover
+      is only meaningful after both are priced. *)
+  let predict_seconds_mono m ~n ~sec_per_op = predict_mono_ops m ~n *. sec_per_op
+
+  let predict_seconds_sharded m ~n ~shard_size ~k ~sec_per_op
+      ~sec_per_field_mult =
+    (predict_sharded_ops m ~n ~shard_size *. sec_per_op)
+    +. (predict_merge_mults m ~n ~shard_size ~k *. sec_per_field_mult)
+
+  (** The predicted quadratic→near-linear crossover: the smallest [n]
+      above [shard_size] from which the sharded mode stays cheaper.
+      Returns [None] if no crossover below [n_max] (e.g. when the merge
+      is priced absurdly high). *)
+  let crossover ?(n_max = 4096) m ~shard_size ~k ~sec_per_op
+      ~sec_per_field_mult =
+    let cheaper n =
+      predict_seconds_sharded m ~n ~shard_size ~k ~sec_per_op ~sec_per_field_mult
+      < predict_seconds_mono m ~n ~sec_per_op
+    in
+    let rec search n =
+      if n > n_max then None
+      else if cheaper n && cheaper (n + 1) && cheaper (n + 2) then Some n
+      else search (n + 1)
+    in
+    search (shard_size + 1)
+end
+
 module Ss_model = struct
   type t = {
     l : int;

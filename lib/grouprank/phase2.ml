@@ -67,8 +67,8 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
      named after the step and attributed to the party — these spans
      tile the phase's computation, so the summary table's column sums
      equal the global meters. *)
-  let with_party2 ?(step = "step") ops exps j f =
-    Trace.with_span ~attrs:[ ("party", Trace.Int j) ] ("phase2." ^ step)
+  let with_party2 ?(step = "step") ?(attrs = []) ops exps j f =
+    Trace.with_span ~attrs:(("party", Trace.Int j) :: attrs) ("phase2." ^ step)
       (fun () ->
         let before = G.op_snapshot () in
         let before_e = Ppgr_group.Opmeter.snapshot () in
@@ -163,7 +163,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
   (* Per-party in/out byte tallies of one round's messages, recorded as
      instant wire spans so the trace carries the paper's per-step
      communication breakdown next to the computation spans. *)
-  let record_wire ~step ~n (messages : Netsim.message list) =
+  let record_wire ?(attrs = []) ~step ~n (messages : Netsim.message list) =
     if Trace.enabled () then
       for j = 0 to n - 1 do
         let out = ref 0 and inb = ref 0 in
@@ -175,15 +175,16 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         if !out > 0 || !inb > 0 then
           Trace.instant
             ~attrs:
-              [
-                ("party", Trace.Int j);
-                ("bytes_out", Trace.Int !out);
-                ("bytes_in", Trace.Int !inb);
-              ]
+              ([
+                 ("party", Trace.Int j);
+                 ("bytes_out", Trace.Int !out);
+                 ("bytes_in", Trace.Int !inb);
+               ]
+              @ attrs)
             ("phase2." ^ step ^ ".wire")
       done
 
-  let run ?(naive_omega = false) rng ~l ~(betas : Bigint.t array) : result =
+  let run ?(naive_omega = false) ?shard rng ~l ~(betas : Bigint.t array) : result =
     let n = Array.length betas in
     if n = 0 then invalid_arg "Phase2.run: no participants";
     Array.iter
@@ -191,18 +192,26 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         if Bigint.sign b < 0 || Bigint.numbits b > l then
           invalid_arg "Phase2.run: beta out of l-bit range")
       betas;
+    (* A sharded run tags every span with the shard index so the
+       Summary can roll the table up per shard. *)
+    let shard_attrs =
+      match shard with None -> [] | Some s -> [ ("shard", Trace.Int s) ]
+    in
     Trace.with_span
       ~attrs:
-        [ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
+        ([ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
+        @ shard_attrs)
       "phase2"
     @@ fun () ->
     let ops = Array.make n 0 in
     let exps = Array.make n 0 in
-    let with_party ~step ops j f = with_party2 ~step ops exps j f in
+    let with_party ~step ops j f =
+      with_party2 ~step ~attrs:shard_attrs ops exps j f
+    in
     let schedule = ref [] in
     let round ~step ~critical_ops messages =
       schedule := { Cost.critical_ops; messages } :: !schedule;
-      record_wire ~step ~n messages
+      record_wire ~attrs:shard_attrs ~step ~n messages
     in
     (* Critical-path ops of a step: the largest per-party op delta since
        the snapshot taken before the step. *)

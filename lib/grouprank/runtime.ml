@@ -43,6 +43,23 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       lab_owner = idx "hop-owner-" n;
     }
 
+  (** A reusable per-(n, l) session: every preformatted label a run
+      needs.  The sharded orchestrator builds one session per distinct
+      shard size and reuses it across all shards of that size, so a
+      625-shard run formats its labels once, not 625 times.  All label
+      strings are byte-identical to the per-run originals, so derived
+      Rng streams — and hence transcripts — are unchanged. *)
+  type session = {
+    s_labels : labels;
+    s_party : string array; (* "runtime-<j>", length n *)
+  }
+
+  let make_session ~n ~l =
+    {
+      s_labels = make_labels ~n ~l;
+      s_party = Array.init n (fun j -> "runtime-" ^ string_of_int j);
+    }
+
   type party = {
     index : int;
     n : int;
@@ -276,13 +293,17 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       or aborts with the typed {!Transport.Party_dropped}.
       @raise Transport.Party_dropped when a message exhausts
       [retry_budget] retransmissions. *)
-  let run ?faults ?(retry_budget = 8) ?flight_cap rng ~l ~(betas : Bigint.t array) :
-      stats =
+  let run ?faults ?(retry_budget = 8) ?flight_cap ?session ?shard rng ~l
+      ~(betas : Bigint.t array) : stats =
     let n = Array.length betas in
     if n < 2 then invalid_arg "Runtime.run: need at least 2 parties";
+    let shard_attrs =
+      match shard with None -> [] | Some s -> [ ("shard", Trace.Int s) ]
+    in
     Trace.with_span
       ~attrs:
-        [ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
+        ([ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
+        @ shard_attrs)
       "runtime"
     @@ fun () ->
     let plan = Option.map Ppgr_mpcnet.Faultplan.create faults in
@@ -331,6 +352,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
                 ("phys_in", Trace.Int (pr1.(j) - pr0.(j)));
                 ("env_bytes", Trace.Int (ev1.(j) - ev0.(j)));
               ]
+              @ shard_attrs
             in
             (* Per-party physical recovery cost of the step; the
                retransmits column tiles Transport.stats the same way
@@ -347,14 +369,19 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       end
     in
     let party_span step j f =
-      Trace.with_span ~attrs:[ ("party", Trace.Int j) ] ("runtime." ^ step) f
+      Trace.with_span
+        ~attrs:(("party", Trace.Int j) :: shard_attrs)
+        ("runtime." ^ step) f
     in
-    let labels = make_labels ~n ~l in
+    let session =
+      match session with Some s -> s | None -> make_session ~n ~l
+    in
+    let labels = session.s_labels in
     let parties =
       Array.init n (fun index ->
           party_span "keygen" index (fun () ->
               create_party ~index ~n ~l ?labels:(Some labels) ~beta:betas.(index)
-                (Rng.split rng ~label:(Printf.sprintf "runtime-%d" index))))
+                (Rng.split rng ~label:session.s_party.(index))))
     in
     (* Announcements broadcast: count each as n-1 sends. *)
     let pub_msgs = Array.map (fun p -> p.pub_msg) parties in
@@ -405,7 +432,7 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       let hop_t0 = if Hist.enabled () then Unix.gettimeofday () else 0. in
       let processed =
         Trace.with_span
-          ~attrs:[ ("party", Trace.Int hop); ("hop", Trace.Int hop) ]
+          ~attrs:([ ("party", Trace.Int hop); ("hop", Trace.Int hop) ] @ shard_attrs)
           "runtime.ring"
           (fun () -> ring_hop parties.(hop) ~v_msgs:!v)
       in

@@ -120,6 +120,36 @@ let run topo ~placement (sched : schedule) : stats =
     party_bytes_in = party_in;
   }
 
+(** Rename party indices in a schedule — e.g. lift a shard-local
+    schedule (parties 0..s-1) onto the global party space. *)
+let remap f (sched : schedule) : schedule =
+  List.map
+    (fun r ->
+      {
+        r with
+        messages = List.map (fun m -> { m with src = f m.src; dst = f m.dst }) r.messages;
+      })
+    sched
+
+(** Round-index-wise parallel union: round [i] of the result carries
+    every schedule's round-[i] messages and the slowest round-[i]
+    computation.  Models independent shards running in lockstep
+    side by side; shorter schedules simply stop contributing. *)
+let overlay (scheds : schedule list) : schedule =
+  let arrs = List.map Array.of_list scheds in
+  let depth = List.fold_left (fun acc a -> max acc (Array.length a)) 0 arrs in
+  List.init depth (fun i ->
+      List.fold_left
+        (fun acc a ->
+          if i < Array.length a then
+            {
+              compute_s = Float.max acc.compute_s a.(i).compute_s;
+              messages = acc.messages @ a.(i).messages;
+            }
+          else acc)
+        { compute_s = 0.; messages = [] }
+        arrs)
+
 (** Convenience constructors for common communication patterns. *)
 
 let broadcast ~from ~parties ~bytes =

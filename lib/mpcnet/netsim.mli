@@ -50,6 +50,14 @@ type stats = {
 
 val run : Topology.t -> placement:placement -> schedule -> stats
 
+val remap : (int -> int) -> schedule -> schedule
+(** Rename party indices (e.g. shard-local to global). *)
+
+val overlay : schedule list -> schedule
+(** Round-index-wise parallel union: per round, messages are
+    concatenated and [compute_s] is the maximum — independent shards
+    running side by side in lockstep. *)
+
 (** {1 Common communication patterns} *)
 
 val broadcast : from:int -> parties:int -> bytes:int -> message list

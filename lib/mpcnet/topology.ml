@@ -93,6 +93,40 @@ let random_connected rng ~nodes ~edges ?(link = default_link) () =
   done;
   of_edges ~nodes ~link !current
 
+(** Deterministic node layout of the sharded-ranking fan-in tree:
+    coordinator at node 0, one aggregator per shard at nodes
+    [1 .. shards], then the shards' leaves in shard order.  Returns
+    [(root, aggregators, leaves)] with [leaves.(i)] the node ids of
+    shard [i]'s participants. *)
+let two_level_layout ~shard_sizes =
+  let shards = Array.length shard_sizes in
+  let aggregators = Array.init shards (fun i -> 1 + i) in
+  let next_leaf = ref (1 + shards) in
+  let leaves =
+    Array.map
+      (fun size ->
+        let ids = Array.init size (fun j -> !next_leaf + j) in
+        next_leaf := !next_leaf + size;
+        ids)
+      shard_sizes
+  in
+  (0, aggregators, leaves)
+
+(** The sharded-ranking topology (Tueno et al.'s star network, one
+    level deeper): a coordinator star over per-shard aggregators, each
+    aggregator a star over its shard's participants.  Layout per
+    {!two_level_layout}. *)
+let two_level_tree ?(link = default_link) ~shard_sizes () =
+  let root, aggregators, leaves = two_level_layout ~shard_sizes in
+  let nodes = 1 + Array.length shard_sizes + Array.fold_left ( + ) 0 shard_sizes in
+  let edges = ref [] in
+  Array.iteri
+    (fun i agg ->
+      edges := (root, agg) :: !edges;
+      Array.iter (fun leaf -> edges := (agg, leaf) :: !edges) leaves.(i))
+    aggregators;
+  of_edges ~nodes ~link !edges
+
 (** All-pairs shortest paths by hop count (uniform links): returns
     [next.(u).(v)] = first hop from [u] towards [v]. *)
 let routing t =

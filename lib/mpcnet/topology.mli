@@ -30,6 +30,17 @@ val random_connected :
 (** Delete random non-disconnecting edges from the complete graph until
     [edges] remain.  @raise Invalid_argument if [edges < nodes - 1]. *)
 
+val two_level_layout : shard_sizes:int array -> int * int array * int array array
+(** Node layout of the sharded fan-in tree: [(root, aggregators, leaves)]
+    with the coordinator at node 0, aggregator of shard [i] at node
+    [1 + i], and [leaves.(i)] the node ids of shard [i]'s participants
+    (in shard order after the aggregators). *)
+
+val two_level_tree : ?link:link -> shard_sizes:int array -> unit -> t
+(** Two-level fan-in tree for committee-sharded ranking: a coordinator
+    star over per-shard aggregators, each a star over its shard's
+    participants.  Node ids follow {!two_level_layout}. *)
+
 val routing : t -> int array array
 (** All-pairs first-hop table by BFS: [next.(u).(v)] is the first hop
     from [u] towards [v] ([-1] on the diagonal). *)

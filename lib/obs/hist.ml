@@ -232,8 +232,16 @@ let backoff_ticks = create ()
 (** Size of every physical wire transmission (envelope included), bytes. *)
 let msg_bytes = create ()
 
+(** Wall-clock time of one complete shard-local ranking, microseconds. *)
+let shard_us = create ()
+
+(** Wall-clock time of the secure top-k merge stage, microseconds. *)
+let merge_us = create ()
+
 let () =
   register ~name:"span_us" span_us;
   register ~name:"hop_us" hop_us;
   register ~name:"backoff_ticks" backoff_ticks;
-  register ~name:"msg_bytes" msg_bytes
+  register ~name:"msg_bytes" msg_bytes;
+  register ~name:"shard_us" shard_us;
+  register ~name:"merge_us" merge_us

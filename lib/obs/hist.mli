@@ -103,6 +103,12 @@ val backoff_ticks : t
     bytes. *)
 val msg_bytes : t
 
+(** Wall-clock time of one complete shard-local ranking, microseconds. *)
+val shard_us : t
+
+(** Wall-clock time of the secure top-k merge stage, microseconds. *)
+val merge_us : t
+
 (** {1 Bucketing internals — exposed for the property tests} *)
 
 val bucket_index : int -> int

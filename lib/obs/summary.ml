@@ -18,6 +18,7 @@ let dimension_keys =
   [
     "party"; "hop"; "member"; "owner"; "layer"; "comparators"; "n"; "l"; "k";
     "h"; "round"; "src"; "dst"; "bit"; "span_id"; "parent"; "step"; "jobs";
+    "shard";
   ]
 
 type row = {
@@ -118,6 +119,38 @@ let to_string rows =
   List.iter (fun c -> Buffer.add_string b (Printf.sprintf " %12d" (total rows c))) cols;
   Buffer.add_string b (Printf.sprintf " %10.2f\n" (total_wall_us rows /. 1e3));
   Buffer.contents b
+
+(** Roll the table up per shard: party-attributed spans that also carry
+    a ["shard"] attribute aggregate into one row per shard (row key
+    ["shard-<i>"], party = shard index), preserving the tiling property
+    within the sharded portion of a run.  Spans without a ["shard"]
+    attribute (e.g. the merge committee) are skipped — sum them
+    separately via {!rows}. *)
+let by_shard (spans : Trace.span list) : row list =
+  let out = ref [] in
+  List.iter
+    (fun sp ->
+      match (int_attr "party" sp, int_attr "shard" sp) with
+      | Some _, Some shard -> (
+          let name = Printf.sprintf "shard-%d" shard in
+          match List.find_opt (fun r -> r.party = shard && r.phase = name) !out with
+          | Some r ->
+              r.wall_us <- r.wall_us +. sp.dur_us;
+              r.metrics <- merge_metrics r.metrics (metric_attrs sp)
+          | None ->
+              out :=
+                !out
+                @ [
+                    {
+                      phase = name;
+                      party = shard;
+                      wall_us = sp.dur_us;
+                      metrics = metric_attrs sp;
+                    };
+                  ])
+      | _ -> ())
+    spans;
+  List.sort (fun a b -> compare a.party b.party) !out
 
 (** Collapse rows over parties: one row per phase (the bench JSON
     shape).  Returned in first-appearance order. *)

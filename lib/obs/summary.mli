@@ -32,6 +32,12 @@ val columns : row list -> string list
 (** Render the table; one line per (phase, party), a TOTAL line last. *)
 val to_string : row list -> string
 
+(** Roll the table up per shard: party-attributed spans that also carry
+    a ["shard"] attribute aggregate into one row per shard (row key
+    ["shard-<i>"], party = shard index, ascending).  Spans without the
+    attribute (e.g. the merge committee) are skipped. *)
+val by_shard : Trace.span list -> row list
+
 (** Collapse rows over parties: one row per phase (party = -1), in
     first-appearance order. *)
 val by_phase : row list -> row list

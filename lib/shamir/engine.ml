@@ -137,6 +137,17 @@ let input e v : shared =
   e.field_elements_sent <- e.field_elements_sent + (e.n - 1);
   Shamir.share e.rng e.f ~t:e.th ~n:e.n v
 
+(** Many parties share their private inputs simultaneously (1 round,
+    n-1 elements each) — the merge-stage fan-in, where every shard
+    representative feeds its masked gain to the committee at once. *)
+let input_batch e vs : shared list =
+  e.rounds <- e.rounds + 1;
+  List.map
+    (fun v ->
+      e.field_elements_sent <- e.field_elements_sent + (e.n - 1);
+      Shamir.share e.rng e.f ~t:e.th ~n:e.n v)
+    vs
+
 (** Open a shared value to all parties (1 round; every party broadcasts
     its share). *)
 let open_ e (a : shared) =

@@ -65,6 +65,10 @@ val neg : t -> shared -> shared
 val input : t -> Bigint.t -> shared
 (** A party shares a private input (1 round). *)
 
+val input_batch : t -> Bigint.t list -> shared list
+(** Many parties share private inputs in one simultaneous round —
+    the sharded-ranking merge fan-in. *)
+
 val open_ : t -> shared -> Bigint.t
 (** Reveal a shared value to everyone (1 round). *)
 

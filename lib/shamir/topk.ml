@@ -15,9 +15,12 @@
     The trade-offs match the paper's characterization of [4]:
 
     - {e probabilistic termination}: if more than [k] inputs tie at the
-      cut value there is no threshold selecting exactly [k]; the search
+      cut value there is no threshold selecting exactly [k]; {!top_k}
       exhausts the domain and reports [`Tie_at_cut] ("cannot be
-      guaranteed to terminate with a correct result every time");
+      guaranteed to terminate with a correct result every time").
+      {!top_k_det} closes that gap with a deterministic input-index
+      tie-break, which the sharded-ranking merge stage requires to
+      always terminate;
     - {e leakage}: the opened counts reveal how many inputs lie in each
       probed interval, strictly more than the ranking framework
       reveals.  This is a baseline, not a privacy-preserving
@@ -48,28 +51,69 @@ let members e prm (values : Engine.shared array) threshold =
   List.concat
     (List.mapi (fun i b -> if Bigint.equal b Bigint.one then [ i ] else []) opened)
 
-let top_k e prm ~k (values : Engine.shared array) : outcome =
-  let n = Array.length values in
-  if k < 1 || k > n then invalid_arg "Topk.top_k: k out of range";
+(* The shared binary search: returns the converged cut [lo] with
+   count(lo) >= k > count(lo + 1), plus the number of opened count
+   probes.  Invariant: count(lo) >= k and count(hi) < k; lo = 0
+   qualifies everything (count = n >= k), hi = 2^l exceeds every
+   input (count = 0 < k). *)
+let search_cut e prm ~k (values : Engine.shared array) =
   let open_count t = Engine.open_ e (count_ge e prm values t) in
-  (* Invariant: count(lo) >= k and count(hi) < k; the cut is in (lo, hi).
-     lo = 0 qualifies everything; hi = 2^l exceeds every input. *)
+  let probes = ref 0 in
   let rec search lo hi =
     (* lo < hi - 1 means the interval still contains candidate cuts. *)
-    if Bigint.compare (Bigint.sub hi lo) Bigint.one <= 0 then begin
-      (* Cut converged to lo: the inputs >= lo are the answer if they
-         number exactly k; otherwise a tie straddles the cut. *)
-      let idx = members e prm values lo in
-      if List.length idx = k then Top_k idx else Tie_at_cut (idx, List.length idx)
-    end
+    if Bigint.compare (Bigint.sub hi lo) Bigint.one <= 0 then (lo, !probes)
     else begin
       let mid = Bigint.shift_right (Bigint.add lo hi) 1 in
+      incr probes;
       let c = Bigint.to_int_exn (open_count mid) in
       if c >= k then search mid hi else search lo mid
     end
   in
   search Bigint.zero (Bigint.nth_bit_weight prm.Compare.l)
 
+let check_k ~n ~k = if k < 1 || k > n then invalid_arg "Topk.top_k: k out of range"
+
+let top_k e prm ~k (values : Engine.shared array) : outcome =
+  check_k ~n:(Array.length values) ~k;
+  let lo, _probes = search_cut e prm ~k values in
+  (* The inputs >= lo are the answer if they number exactly k;
+     otherwise a tie straddles the cut. *)
+  let idx = members e prm values lo in
+  if List.length idx = k then Top_k idx else Tie_at_cut (idx, List.length idx)
+
+(** Deterministic variant: always returns exactly [k] indices.  When
+    more than [k] inputs reach the cut value, the winners are the
+    inputs strictly above the cut plus the lowest-indexed inputs {e at}
+    the cut — a public, deterministic tie-break, which is what lets the
+    sharded-ranking merge stage terminate on any input.
+
+    Leakage note (documented, accepted): resolving the tie opens the
+    membership bits for both [cut] and [cut + 1], so every party learns
+    {e which} inputs tie at the cut value (in addition to the probe
+    counts {!top_k} already opens).  The caller should index inputs by
+    a canonical public order — e.g. (shard, local index) — so the
+    tie-break reveals nothing beyond that public ordering. *)
+let top_k_det e prm ~k (values : Engine.shared array) : int list =
+  check_k ~n:(Array.length values) ~k;
+  let lo, _probes = search_cut e prm ~k values in
+  let at_or_above = members e prm values lo in
+  if List.length at_or_above = k then at_or_above
+  else begin
+    (* Strictly above the cut: values >= lo + 1.  By the search
+       invariant there are fewer than k of them, and at_or_above holds
+       more than k, so the cut ties fill the remainder. *)
+    let above = members e prm values (Bigint.succ lo) in
+    let at_cut = List.filter (fun i -> not (List.mem i above)) at_or_above in
+    let need = k - List.length above in
+    (* members returns ascending indices: take the first [need]. *)
+    let rec take n = function
+      | [] -> []
+      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+    in
+    List.sort compare (above @ take need at_cut)
+  end
+
 (** Comparison-protocol invocations used (for the bench): [n] per probe,
-    [l + 1] probes worst-case, plus the final membership opening. *)
+    [l + 1] probes worst-case, plus the final membership opening — and
+    one more opening when {!top_k_det} resolves a tie. *)
 let comparisons_bound ~n ~l = n * (l + 2)

@@ -91,6 +91,76 @@ let topk_tests =
           (fun () -> ignore (Topk.top_k e prm ~k:2 shared)));
   ]
 
+(* The deterministic tie-break variant used by the sharded-ranking
+   merge stage: always exactly k winners, ties at the cut resolved by
+   ascending input index. *)
+let topk_det_tests =
+  let prm = Compare.default_params ~l:10 () in
+  let prop ?(count = 30) name gen f =
+    QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+  in
+  (* Reference: winners of the same tie-break computed in the clear. *)
+  let expected_det vals k =
+    let idx = Array.to_list (Array.init (Array.length vals) Fun.id) in
+    let sorted =
+      (* descending value, ascending index among equals *)
+      List.sort
+        (fun a b ->
+          if vals.(a) <> vals.(b) then compare vals.(b) vals.(a) else compare a b)
+        idx
+    in
+    List.sort compare (List.filteri (fun i _ -> i < k) sorted)
+  in
+  let check_det vals k =
+    let e = engine () in
+    let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+    Topk.top_k_det e prm ~k shared = expected_det vals k
+  in
+  let vals_gen =
+    (* Small domain forces frequent duplicates, including at the cut. *)
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 2 8) (int_range 0 6))
+        (int_range 0 1000))
+  in
+  [
+    prop "matches the clear tie-break on duplicate-heavy inputs" vals_gen
+      (fun (vals, kseed) ->
+        let k = 1 + (kseed mod Array.length vals) in
+        check_det vals k);
+    prop ~count:10 "all-equal inputs: lowest k indices win"
+      QCheck2.Gen.(pair (int_range 2 7) (int_range 0 1000))
+      (fun (n, kseed) ->
+        let k = 1 + (kseed mod n) in
+        let vals = Array.make n 5 in
+        let e = engine () in
+        let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+        Topk.top_k_det e prm ~k shared = List.init k Fun.id);
+    Alcotest.test_case "duplicate exactly at the cut" `Quick (fun () ->
+        (* Two values tie at the cut with room for one: the lower index
+           wins. *)
+        let vals = [| 9; 7; 7; 3 |] in
+        let e = engine () in
+        let shared = Array.map (fun v -> Engine.input e (bi v)) vals in
+        Alcotest.(check (list int)) "winners" [ 0; 1 ]
+          (Topk.top_k_det e prm ~k:2 shared));
+    Alcotest.test_case "agrees with top_k when there is no tie" `Quick
+      (fun () ->
+        let vals = [| 12; 44; 3; 27; 8 |] in
+        let e1 = engine () and e2 = engine () in
+        let sh v e = Array.map (fun x -> Engine.input e (bi x)) v in
+        match Topk.top_k e1 prm ~k:3 (sh vals e1) with
+        | Topk.Top_k idx ->
+            Alcotest.(check (list int)) "same winners" (List.sort compare idx)
+              (Topk.top_k_det e2 prm ~k:3 (sh vals e2))
+        | Topk.Tie_at_cut _ -> Alcotest.fail "distinct values cannot tie");
+    Alcotest.test_case "k out of range rejected" `Quick (fun () ->
+        let e = engine () in
+        let shared = [| Engine.input e (bi 1) |] in
+        Alcotest.check_raises "bad k" (Invalid_argument "Topk.top_k: k out of range")
+          (fun () -> ignore (Topk.top_k_det e prm ~k:0 shared)));
+  ]
+
 let mixnet_tests =
   let module G = (val Ppgr_group.Dl_group.dl_test_64 ()) in
   let module M = Ppgr_elgamal.Mixnet.Make (G) in
@@ -193,6 +263,7 @@ let () =
   Alcotest.run "extensions"
     [
       ("topk", topk_tests);
+      ("topk-det", topk_det_tests);
       ("mixnet", mixnet_tests);
       ("paillier", paillier_tests);
     ]
