@@ -6,11 +6,12 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig3a   # a subset
    Sections: calibrate fig2 fig3a fig3b analysis ablations micro trajectory
-   scaling obs ring chaos limbs exp obsv2 shard, plus scaling-smoke,
-   ring-smoke, chaos-smoke, limbs-smoke, exp-smoke, obsv2-smoke and
-   shard-smoke (the cheap CI determinism checks, not part of the default
-   set).  "shard" is also excluded from the default set: its 10k-point
-   leg runs for an hour-plus on one core (PPGR_SHARD_BENCH_N shrinks it). *)
+   scaling obs ring chaos limbs exp obsv2 shard async, plus scaling-smoke,
+   ring-smoke, chaos-smoke, limbs-smoke, exp-smoke, obsv2-smoke,
+   shard-smoke and async-smoke (the cheap CI determinism checks, not part
+   of the default set).  "shard" is also excluded from the default set:
+   its 10k-point leg runs for an hour-plus on one core
+   (PPGR_SHARD_BENCH_N shrinks it). *)
 
 let sections_requested =
   match Array.to_list Sys.argv with
@@ -19,7 +20,7 @@ let sections_requested =
       [
         "calibrate"; "fig2"; "fig3a"; "fig3b"; "analysis"; "ablations"; "micro";
         "trajectory"; "scaling"; "obs"; "ring"; "chaos"; "limbs"; "exp";
-        "obsv2";
+        "obsv2"; "async";
       ]
 
 let want s = List.mem s sections_requested
@@ -61,6 +62,7 @@ let () =
   if want "limbs" then Limbs.run ();
   if want "exp" then Exp.run ();
   if want "obsv2" then Obsv2.run ();
+  if want "async" then Async.run ();
   if want "shard" then Shard.run ();
   if want "scaling-smoke" then Scaling.smoke ();
   if want "ring-smoke" then Ring.smoke ();
@@ -69,4 +71,5 @@ let () =
   if want "exp-smoke" then Exp.smoke ();
   if want "obsv2-smoke" then Obsv2.smoke ();
   if want "shard-smoke" then Shard.smoke ();
+  if want "async-smoke" then Async.smoke ();
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

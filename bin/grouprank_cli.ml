@@ -90,6 +90,26 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let window_arg =
+  let doc =
+    "Transport window spec for the distributed (runtime) leg, e.g. \
+     $(b,window=8,rto=4,link-0-1=16): sliding-window size per directed \
+     link (1 = stop-and-wait), retransmission timeout in ticks, \
+     per-link overrides.  Implies the runtime leg even without \
+     $(b,--faults) (a clean schedule is used)."
+  in
+  Arg.(value & opt (some string) None & info [ "window" ] ~docv:"SPEC" ~doc)
+
+let restart_arg =
+  let doc =
+    "Supervise the runtime leg with checkpoint/restart: on a \
+     Party_dropped abort, resume from the last completed step up to \
+     $(docv) times, then re-elect the ring without the dead party \
+     (collusion bound degrades to n-3 for that session).  Implies the \
+     runtime leg even without $(b,--faults)."
+  in
+  Arg.(value & opt int 0 & info [ "restart" ] ~docv:"N" ~doc)
+
 let stats_out_arg =
   let doc =
     "Write a Prometheus text-format snapshot of all meters, probes and \
@@ -121,7 +141,8 @@ let parse_spec s =
    the message-passing runtime with a fault plan on every link.  The
    contract (test/test_chaos.ml): correct ranks or a typed abort with
    forensics — never a hang, never a silently wrong ranking. *)
-let run_faults group spec criterion infos ~seed ?flows_out fspec =
+let run_faults group spec criterion infos ~seed ?flows_out ?window
+    ~restarts fspec =
   let module G = (val group : Ppgr_group.Group_intf.GROUP) in
   let module RT = Runtime.Make (G) in
   let open Ppgr_bigint in
@@ -136,8 +157,23 @@ let run_faults group spec criterion infos ~seed ?flows_out fspec =
   let fspec = Ppgr_mpcnet.Faultplan.spec_of_string fspec in
   Printf.printf "\nfault schedule: %s\n"
     (Ppgr_mpcnet.Faultplan.spec_to_string fspec);
+  let window = Option.map Transport.winspec_of_string window in
+  (match window with
+  | Some w -> Printf.printf "window spec:    %s\n" (Transport.winspec_to_string w)
+  | None -> ());
   let rng = Ppgr_rng.Rng.create ~seed:(seed ^ "-faults") in
-  let run () = RT.run ~faults:fspec rng ~l ~betas in
+  (* [restarts] above 0 supervises with checkpoint/restart; the result
+     carries how the run got there (resumes / ring re-election). *)
+  let run () =
+    if restarts = 0 then (RT.run ~faults:fspec ?window rng ~l ~betas, 0, None)
+    else begin
+      let rc =
+        RT.run_with_restart ~faults:fspec ?window ~max_restarts:restarts rng
+          ~l ~betas
+      in
+      (rc.RT.rec_stats, rc.RT.rec_resumes, rc.RT.rec_reelected)
+    end
+  in
   (* With --trace the chaos leg is captured too: its spans plus the
      transport's causal ledger become a flow-arrow trace beside the
      main one. *)
@@ -151,7 +187,7 @@ let run_faults group spec criterion infos ~seed ?flows_out fspec =
         with Transport.Party_dropped f -> Error f)
   in
   match outcome with
-  | Ok (st, spans_opt) ->
+  | Ok ((st, resumes, reelected), spans_opt) ->
       let injected =
         String.concat ", "
           (List.filter_map
@@ -161,12 +197,25 @@ let run_faults group spec criterion infos ~seed ?flows_out fspec =
       Printf.printf "runtime survived: ranks %s\n"
         (String.concat ","
            (Array.to_list (Array.map string_of_int st.RT.ranks)));
+      (match (resumes, reelected) with
+      | 0, None -> ()
+      | r, None ->
+          Printf.printf "  recovery:          resumed from checkpoint %d time(s)\n" r
+      | r, Some dead ->
+          Printf.printf
+            "  recovery:          %d failed resume(s); ring re-elected without \
+             P%d (collusion bound now n-3)\n"
+            r (dead + 1));
       Printf.printf "  injected:          %s\n"
         (if injected = "" then "nothing" else injected);
       Printf.printf "  retransmissions:   %d\n" st.RT.retransmits;
       Printf.printf "  CRC rejects:       %d\n" st.RT.crc_rejects;
       Printf.printf "  dups suppressed:   %d\n" st.RT.dup_suppressed;
       Printf.printf "  backoff ticks:     %d\n" st.RT.backoff_ticks;
+      if st.RT.acks_sent > 0 then
+        Printf.printf "  acks:              %d (%d bytes, control plane)\n"
+          st.RT.acks_sent st.RT.ack_bytes;
+      Printf.printf "  simulated ticks:   %d\n" st.RT.sim_ticks;
       Printf.printf "  bytes (logical):   %d in %d messages\n" st.RT.bytes_on_wire
         st.RT.messages;
       Printf.printf "  bytes (physical):  %d in %d transmissions\n" st.RT.phys_bytes
@@ -232,7 +281,7 @@ let run_faults group spec criterion infos ~seed ?flows_out fspec =
       3
 
 let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults
-    stats_out =
+    window restart stats_out =
   apply_jobs jobs;
   let rng = Ppgr_rng.Rng.create ~seed in
   let spec = parse_spec spec_s in
@@ -346,13 +395,16 @@ let run_cmd group_name n k seed spec_s h verbose jobs trace jsonl metrics faults
   end;
   Printf.printf "\nwall clock: %.3f s\n" dt;
   let code =
-    match faults with
-    | None -> 0
-    | Some fspec ->
-        (* A traced chaos leg writes its own flow-arrow trace next to
-           the main one. *)
-        let flows_out = Option.map (fun p -> p ^ ".flows.json") trace in
-        run_faults group spec criterion infos ~seed ?flows_out fspec
+    if faults = None && window = None && restart = 0 then 0
+    else begin
+      (* --window / --restart imply the runtime leg even without a
+         fault schedule (a clean seeded plan is used).  A traced leg
+         writes its own flow-arrow trace next to the main one. *)
+      let fspec = Option.value faults ~default:"seed=clean" in
+      let flows_out = Option.map (fun p -> p ^ ".flows.json") trace in
+      run_faults group spec criterion infos ~seed ?flows_out ?window
+        ~restarts:restart fspec
+    end
   in
   (match stats_out with
   | Some path ->
@@ -523,7 +575,7 @@ let run_term =
   Term.(
     const run_cmd $ group_arg $ n_arg $ k_arg $ seed_arg $ spec_arg $ h_arg
     $ verbose_arg $ jobs_arg $ trace_arg $ jsonl_arg $ metrics_arg
-    $ faults_arg $ stats_out_arg)
+    $ faults_arg $ window_arg $ restart_arg $ stats_out_arg)
 
 let rank_term =
   Term.(

@@ -13,8 +13,13 @@
     multi-verifier interaction, so that each protocol step is a single
     message flight (the interactive version is exercised by {!Phase2}).
 
-    The driver below delivers messages immediately and in order; the
-    party logic itself is transport-agnostic. *)
+    The driver below runs each protocol step's sends through
+    {!Transport.post}/{!Transport.flush}: in stop-and-wait mode (every
+    window at 1) that delivers immediately and in order, byte-identical
+    to the PR 5 driver; with a sliding window it becomes a pipelined
+    event loop that overlaps delivery per directed link.  The party
+    logic itself is transport-agnostic, and completed steps checkpoint
+    so an aborted run can resume (see {!run} and {!run_with_restart}). *)
 
 open Ppgr_bigint
 open Ppgr_rng
@@ -275,6 +280,11 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
     crc_rejects : int;
     dup_suppressed : int;
     backoff_ticks : int;
+    acks_sent : int; (* windowed control-plane acks; 0 in stop-and-wait *)
+    ack_bytes : int;
+    sim_ticks : int;
+        (* simulated link-clock elapsed: serialized in stop-and-wait,
+           per-step max over concurrent links when windowed *)
     faults_injected : (string * int) list; (* by kind, fixed order *)
     transcript_sha : string; (* chained digest of all physical bytes *)
     net_rounds : Ppgr_mpcnet.Netsim.schedule;
@@ -291,38 +301,88 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       [faults] every attempt delivers; with a {!Faultplan.spec} the run
       faces that seeded schedule and either completes with correct ranks
       or aborts with the typed {!Transport.Party_dropped}.
+
+      [window] selects the transport discipline: absent (or all windows
+      at 1) every step is PR 5 stop-and-wait, byte-identical to before;
+      with a window above 1 each step's sends are posted up front and
+      the pipelined engine overlaps them per link.
+
+      [checkpoint_cb] receives a serialized {!Wire.checkpoint_frame}
+      after every completed wire step; [resume] accepts one and restarts
+      the run at the first step the checkpoint does not cover.  A
+      resumed run is byte-identical (ranks, transcript, meters, replay
+      schedule) to the uninterrupted original because party randomness
+      is re-derived from [rng] splits that the aborted attempt never
+      disturbed, and the fault schedule is a pure function of the seed
+      fast-forwarded to the persisted position.
       @raise Transport.Party_dropped when a message exhausts
-      [retry_budget] retransmissions. *)
-  let run ?faults ?(retry_budget = 8) ?flight_cap ?session ?shard rng ~l
+      [retry_budget] retransmissions (or [kill_after] physical
+      transmissions are reached, for crash injection). *)
+  let run ?faults ?(retry_budget = 8) ?flight_cap ?session ?shard ?window
+      ?(kill_after = -1) ?resume ?checkpoint_cb rng ~l
       ~(betas : Bigint.t array) : stats =
     let n = Array.length betas in
     if n < 2 then invalid_arg "Runtime.run: need at least 2 parties";
+    let ck = Option.map Wire.decode_checkpoint resume in
+    (match ck with
+    | Some c when c.Wire.ck_n <> n ->
+        invalid_arg
+          (Printf.sprintf
+             "Runtime.run: checkpoint is for %d parties, this run has %d"
+             c.Wire.ck_n n)
+    | _ -> ());
+    let start = match ck with None -> 0 | Some c -> c.Wire.ck_step in
     let shard_attrs =
       match shard with None -> [] | Some s -> [ ("shard", Trace.Int s) ]
+    in
+    let resume_attrs =
+      match ck with
+      | None -> []
+      | Some _ -> [ ("resumed_from", Trace.Int start) ]
     in
     Trace.with_span
       ~attrs:
         ([ ("group", Trace.Str G.name); ("n", Trace.Int n); ("l", Trace.Int l) ]
-        @ shard_attrs)
+        @ resume_attrs @ shard_attrs)
       "runtime"
     @@ fun () ->
     let plan = Option.map Ppgr_mpcnet.Faultplan.create faults in
-    let tr = Transport.create ?faults:plan ~retry_budget ?flight_cap ~n () in
-    let bytes_total = ref 0 in
-    let msg_total = ref 0 in
-    let sent = Array.make n 0 in
-    let received = Array.make n 0 in
-    (* [send] is the only channel between parties; it tallies every
+    let tr =
+      match ck with
+      | None ->
+          Transport.create ?faults:plan ~retry_budget ?flight_cap ?window
+            ~kill_after ~n ()
+      | Some c ->
+          Transport.restore ?faults:plan ~retry_budget ?flight_cap ?window
+            ~kill_after c.Wire.ck_snap
+    in
+    let bytes_total =
+      ref (match ck with None -> 0 | Some c -> c.Wire.ck_bytes_total)
+    in
+    let msg_total =
+      ref (match ck with None -> 0 | Some c -> c.Wire.ck_msg_total)
+    in
+    let sent =
+      match ck with None -> Array.make n 0 | Some c -> Array.copy c.Wire.ck_sent
+    in
+    let received =
+      match ck with
+      | None -> Array.make n 0
+      | Some c -> Array.copy c.Wire.ck_received
+    in
+    (* [post] is the only channel between parties; it tallies every
        serialized payload globally and per endpoint (the logical view),
        then hands the bytes to the transport, which owns delivery,
-       recovery and the physical accounting. *)
-    let send ~src ~dst (b : Bytes.t) =
+       recovery and the physical accounting.  In stop-and-wait mode the
+       post delivers immediately; under a window it enqueues and the
+       step's closing {!Transport.flush} runs the pipelined engine. *)
+    let post ~src ~dst (b : Bytes.t) =
       let len = Bytes.length b in
       bytes_total := !bytes_total + len;
       incr msg_total;
       sent.(src) <- sent.(src) + len;
       received.(dst) <- received.(dst) + len;
-      Transport.send tr ~src ~dst b
+      Transport.post tr ~src ~dst b
     in
     (* One instant wire span per party per protocol step, carrying the
        in/out byte deltas of that step at both accounting levels.  Also
@@ -373,6 +433,30 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
         ~attrs:(("party", Trace.Int j) :: shard_attrs)
         ("runtime." ^ step) f
     in
+    (* Serialize the complete post-step state (logical ledgers, the
+       step's data dependencies, transport snapshot) and hand it to the
+       caller; a later run resumes from it via [?resume].  [step_done]
+       counts completed wire steps: 1 announce, 2 encrypt, 3 compare,
+       4+h ring hop h. *)
+    let checkpoint step_done ~enc ~v =
+      match checkpoint_cb with
+      | None -> ()
+      | Some cb ->
+          let c =
+            {
+              Wire.ck_step = step_done;
+              ck_n = n;
+              ck_bytes_total = !bytes_total;
+              ck_msg_total = !msg_total;
+              ck_sent = Array.copy sent;
+              ck_received = Array.copy received;
+              ck_enc = enc;
+              ck_v = v;
+              ck_snap = Transport.persist tr;
+            }
+          in
+          cb (Wire.encode_checkpoint c)
+    in
     let session =
       match session with Some s -> s | None -> make_session ~n ~l
     in
@@ -383,75 +467,107 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
               create_party ~index ~n ~l ?labels:(Some labels) ~beta:betas.(index)
                 (Rng.split rng ~label:session.s_party.(index))))
     in
-    (* Announcements broadcast: count each as n-1 sends. *)
+    (* Announcements broadcast: count each as n-1 sends.  A broadcast
+       posts its whole fan-out and flushes once — under a window every
+       link makes progress concurrently; at window 1 each post delivers
+       immediately and the flush is a no-op collect. *)
+    let broadcast (msgs : Bytes.t array) =
+      Array.iteri
+        (fun src (m : Bytes.t) ->
+          for dst = 0 to n - 1 do
+            if dst <> src then ignore (post ~src ~dst m)
+          done)
+        msgs;
+      ignore (Transport.flush tr)
+    in
     let pub_msgs = Array.map (fun p -> p.pub_msg) parties in
     let proof_msgs = Array.map (fun p -> p.proof_msg) parties in
-    wire_mark "announce" (fun () ->
-        Array.iteri
-          (fun src (m : Bytes.t) ->
-            for dst = 0 to n - 1 do
-              if dst <> src then ignore (send ~src ~dst m)
-            done)
-          pub_msgs;
-        Array.iteri
-          (fun src (m : Bytes.t) ->
-            for dst = 0 to n - 1 do
-              if dst <> src then ignore (send ~src ~dst m)
-            done)
-          proof_msgs);
-    (* Bit encryptions broadcast. *)
+    if start <= 0 then begin
+      wire_mark "announce" (fun () ->
+          broadcast pub_msgs;
+          broadcast proof_msgs);
+      checkpoint 1 ~enc:[||] ~v:[||]
+    end;
+    (* Bit encryptions broadcast.  A run resumed past this step takes
+       the ciphertext batch from the checkpoint instead of recomputing
+       it (the joint key is only ever needed here). *)
     let enc_msgs =
-      Array.mapi
-        (fun j p ->
-          party_span "encrypt" j (fun () ->
-              receive_keys_and_encrypt p ~pub_msgs ~proof_msgs))
-        parties
-    in
-    wire_mark "encrypt" (fun () ->
-        Array.iteri
-          (fun src (m : Bytes.t) ->
-            for dst = 0 to n - 1 do
-              if dst <> src then ignore (send ~src ~dst m)
-            done)
-          enc_msgs);
-    (* Comparison sets to P_1 (party 0). *)
-    let v =
-      wire_mark "compare" (fun () ->
+      match ck with
+      | Some c when start >= 2 -> c.Wire.ck_enc
+      | _ ->
           Array.mapi
             (fun j p ->
-              send ~src:j ~dst:0
-                (party_span "compare" j (fun () -> compare_all p ~enc_msgs)))
-            parties)
+              party_span "encrypt" j (fun () ->
+                  receive_keys_and_encrypt p ~pub_msgs ~proof_msgs))
+            parties
     in
+    if start <= 1 then begin
+      wire_mark "encrypt" (fun () -> broadcast enc_msgs);
+      checkpoint 2 ~enc:enc_msgs ~v:[||]
+    end;
+    (* Comparison sets to P_1 (party 0). *)
+    let v =
+      match ck with
+      | Some c when start >= 3 -> c.Wire.ck_v
+      | _ ->
+          wire_mark "compare" (fun () ->
+              let tickets =
+                Array.mapi
+                  (fun j p ->
+                    post ~src:j ~dst:0
+                      (party_span "compare" j (fun () -> compare_all p ~enc_msgs)))
+                  parties
+              in
+              let out = Transport.flush tr in
+              Array.map (fun tk -> out.(tk)) tickets)
+    in
+    if start <= 2 then checkpoint 3 ~enc:[||] ~v;
     (* Ring pass: each hop receives the vector, processes, forwards.
        Intermediate hops ship all n sets as ONE framed message (the
        receiver unpacks and validates it); the final hop returns each
-       set to its owner and keeps its own. *)
+       set to its owner and keeps its own.  Hops the checkpoint already
+       covers are skipped wholesale: [!v] restores to the post-hop
+       vector and the recreated parties' streams stay undisturbed. *)
     let v = ref v in
     for hop = 0 to n - 1 do
-      let hop_t0 = if Hist.enabled () then Unix.gettimeofday () else 0. in
-      let processed =
-        Trace.with_span
-          ~attrs:([ ("party", Trace.Int hop); ("hop", Trace.Int hop) ] @ shard_attrs)
-          "runtime.ring"
-          (fun () -> ring_hop parties.(hop) ~v_msgs:!v)
-      in
-      if Hist.enabled () then
-        Hist.record_us Hist.hop_us ((Unix.gettimeofday () -. hop_t0) *. 1e6);
-      if hop < n - 1 then begin
-        let frame =
-          wire_mark "ring" (fun () ->
-              send ~src:hop ~dst:(hop + 1) (Wire.encode_hop_frame processed))
+      if start <= 3 + hop then begin
+        let hop_t0 = if Hist.enabled () then Unix.gettimeofday () else 0. in
+        let processed =
+          Trace.with_span
+            ~attrs:
+              ([ ("party", Trace.Int hop); ("hop", Trace.Int hop) ] @ shard_attrs)
+            "runtime.ring"
+            (fun () -> ring_hop parties.(hop) ~v_msgs:!v)
         in
-        v := ring_receive_frame parties.(hop + 1) frame
+        if Hist.enabled () then
+          Hist.record_us Hist.hop_us ((Unix.gettimeofday () -. hop_t0) *. 1e6);
+        if hop < n - 1 then begin
+          let frame =
+            wire_mark "ring" (fun () ->
+                let tk =
+                  post ~src:hop ~dst:(hop + 1) (Wire.encode_hop_frame processed)
+                in
+                (Transport.flush tr).(tk))
+          in
+          v := ring_receive_frame parties.(hop + 1) frame
+        end
+        else
+          v :=
+            wire_mark "ring" (fun () ->
+                let tickets =
+                  Array.mapi
+                    (fun owner _ ->
+                      if owner = hop then -1
+                      else post ~src:hop ~dst:owner processed.(owner))
+                    processed
+                in
+                let out = Transport.flush tr in
+                Array.mapi
+                  (fun owner m ->
+                    if tickets.(owner) < 0 then m else out.(tickets.(owner)))
+                  processed);
+        checkpoint (4 + hop) ~enc:[||] ~v:!v
       end
-      else
-        v :=
-          wire_mark "ring" (fun () ->
-              Array.mapi
-                (fun owner m ->
-                  if owner = hop then m else send ~src:hop ~dst:owner m)
-                processed)
     done;
     (* Return each set to its owner; owners decode and count. *)
     let ranks =
@@ -476,6 +592,9 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       crc_rejects = st.Transport.crc_rejects;
       dup_suppressed = st.Transport.dup_suppressed;
       backoff_ticks = st.Transport.backoff_ticks;
+      acks_sent = st.Transport.acks_sent;
+      ack_bytes = st.Transport.ack_bytes;
+      sim_ticks = st.Transport.sim_ticks;
       faults_injected =
         (match plan with
         | None -> List.map (fun k -> (k, 0)) Ppgr_mpcnet.Faultplan.kinds
@@ -486,4 +605,64 @@ module Make (G : Ppgr_group.Group_intf.GROUP) = struct
       flows = Transport.flows tr;
       flight = Transport.flight tr;
     }
+
+  (** Outcome of a supervised execution: the completed run's stats plus
+      how it got there. *)
+  type recovery = {
+    rec_stats : stats;
+    rec_resumes : int; (* resume attempts consumed (successful or not) *)
+    rec_reelected : int option;
+        (* [Some dead] when the ring was re-elected without that party *)
+  }
+
+  (** Supervise a run with checkpoint/restart.  The run checkpoints
+      after every wire step; on {!Transport.Party_dropped} it resumes
+      from the latest checkpoint (crash injection via [kill_after] is
+      disabled on resume — the simulated crash already happened).  After
+      [max_restarts] failed resumes the destination party of the last
+      abort is declared dead and the ring is {e re-elected}: the
+      survivors rerun the whole protocol as an (n-1)-party session on a
+      fresh ["re-elect-<dead>"] split of [rng] — byte-identical to a
+      fresh (n-1)-party run on that stream.
+
+      Privacy note (mirrors the sharded s-2 trade): a re-elected
+      session tolerates n-3 colluding parties rather than the paper's
+      n-2, because the dead party's comparisons from the aborted
+      session plus the survivors' new session give an adversary two
+      transcripts over overlapping inputs.  See DESIGN.md §5k. *)
+  let run_with_restart ?faults ?(retry_budget = 8) ?flight_cap ?session ?shard
+      ?window ?(max_restarts = 1) ?(kill_after = -1) rng ~l
+      ~(betas : Bigint.t array) : recovery =
+    let latest = ref None in
+    let cb b = latest := Some b in
+    let go ?resume ~kill_after () =
+      run ?faults ~retry_budget ?flight_cap ?session ?shard ?window ~kill_after
+        ?resume ~checkpoint_cb:cb rng ~l ~betas
+    in
+    let reelect ~resumes (f : Transport.forensics) =
+      let dead = f.Transport.fr_dst in
+      let n = Array.length betas in
+      if n < 3 then raise (Transport.Party_dropped f);
+      let betas' =
+        Array.init (n - 1) (fun j -> if j < dead then betas.(j) else betas.(j + 1))
+      in
+      let rng' = Rng.split rng ~label:("re-elect-" ^ string_of_int dead) in
+      let st =
+        run ?faults ~retry_budget ?flight_cap ?shard ?window rng' ~l
+          ~betas:betas'
+      in
+      { rec_stats = st; rec_resumes = resumes; rec_reelected = Some dead }
+    in
+    match go ~kill_after () with
+    | st -> { rec_stats = st; rec_resumes = 0; rec_reelected = None }
+    | exception Transport.Party_dropped f0 ->
+        let rec retry k last_f =
+          if k >= max_restarts then reelect ~resumes:k last_f
+          else
+            match go ?resume:!latest ~kill_after:(-1) () with
+            | st ->
+                { rec_stats = st; rec_resumes = k + 1; rec_reelected = None }
+            | exception Transport.Party_dropped f -> retry (k + 1) f
+        in
+        retry 0 f0
 end

@@ -107,6 +107,8 @@ let tag_zkp = 0x11
 let tag_cipher_batch = 0x12
 let tag_hop_frame = 0x13
 let tag_envelope = 0x14
+let tag_ack = 0x15
+let tag_checkpoint = 0x16
 let tag_submission = 0x20
 
 (** {1 CRC-32}
@@ -237,6 +239,315 @@ let decode_hop_frame data =
     tag + count + one u32 length prefix per payload. *)
 let hop_frame_bytes payload_sizes =
   1 + 2 + List.fold_left (fun acc s -> acc + 4 + s) 0 payload_sizes
+
+(* Shared CRC-32 trailer discipline for the control-plane frames below:
+   the CRC covers every byte before it and is checked before any length
+   field is trusted, exactly like {!decode_envelope}. *)
+let append_crc body =
+  let blen = Bytes.length body in
+  let out = Bytes.create (blen + 4) in
+  Bytes.blit body 0 out 0 blen;
+  let crc = crc32 body in
+  Bytes.set out blen (Char.chr ((crc lsr 24) land 0xFF));
+  Bytes.set out (blen + 1) (Char.chr ((crc lsr 16) land 0xFF));
+  Bytes.set out (blen + 2) (Char.chr ((crc lsr 8) land 0xFF));
+  Bytes.set out (blen + 3) (Char.chr (crc land 0xFF));
+  out
+
+let check_crc ~what ~min_len data =
+  let total = Bytes.length data in
+  if total < min_len then fail "%s shorter than its fixed fields" what;
+  let stored =
+    let g i = Char.code (Bytes.get data (total - 4 + i)) in
+    (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3
+  in
+  if crc32 ~pos:0 ~len:(total - 4) data <> stored then fail "%s CRC mismatch" what;
+  R.of_bytes (Bytes.sub data 0 (total - 4))
+
+(** {1 Ack frames}
+
+    The windowed transport's cumulative acknowledgements.  [ack_cum] is
+    the receiver's next expected sequence number on the directed link
+    [(ack_src, ack_dst)] — everything below it has been accepted —
+    and [ack_sack] is a 32-bit selective-ack bitmap: bit [j] set means
+    sequence [ack_cum + 1 + j] was received out of order and is
+    buffered (so the sender must not retransmit it).  Acks travel the
+    reverse link under the same CRC-32 envelope discipline as data:
+    [tag(1) | src u16 | dst u16 | cum u32 | sack u32 | crc u32]. *)
+
+type ack = { ack_src : int; ack_dst : int; ack_cum : int; ack_sack : int }
+
+let encode_ack (a : ack) =
+  let b = W.create () in
+  W.u8 b tag_ack;
+  W.u16 b a.ack_src;
+  W.u16 b a.ack_dst;
+  W.u32 b a.ack_cum;
+  W.u32 b a.ack_sack;
+  append_crc (W.contents b)
+
+let decode_ack data =
+  let r = check_crc ~what:"ack" ~min_len:17 data in
+  if R.u8 r <> tag_ack then fail "bad tag for ack";
+  let ack_src = R.u16 r in
+  let ack_dst = R.u16 r in
+  let ack_cum = R.u32 r in
+  let ack_sack = R.u32 r in
+  R.expect_end r;
+  { ack_src; ack_dst; ack_cum; ack_sack }
+
+(** Serialized ack size: fixed — tag, src, dst, cum, sack, CRC. *)
+let ack_overhead = 1 + 2 + 2 + 4 + 4 + 4
+
+(** {1 Checkpoint frames}
+
+    Protocol-level checkpoint/restart state, serialized at every
+    completed protocol step.  The frame is {e plain data} — int
+    matrices, counters, opaque payload blobs — so this module stays
+    below {!Transport} and {!Runtime} in the dependency order; those
+    layers map their state in and out.
+
+    [transport_snap] is the transport's complete persisted state: the
+    per-link sequence counters, every physical tally, the chained
+    transcript digest, the closed per-step rounds plus the in-progress
+    round, per-link fault-draw counts (so a resumed run can fast-forward
+    a fresh {!Ppgr_mpcnet.Faultplan} to the exact schedule position),
+    and any reorder-limbo envelopes still held.
+
+    The whole frame rides the same CRC-32 trailer as envelopes and
+    acks; decoding validates the CRC before trusting any length, and
+    every count is re-checked against the remaining buffer before it
+    sizes an allocation (the {!decode_hop_frame} hardening). *)
+
+type transport_snap = {
+  ts_n : int;
+  ts_send_seq : int array array; (* n*n, next seq to assign *)
+  ts_recv_seq : int array array; (* n*n, next seq expected *)
+  ts_counters : int array;
+      (* fixed order: retransmits, drops, crc_rejects, dup_suppressed,
+         reorders, delays, backoff_ticks, phys_messages, phys_bytes,
+         acks_sent, ack_bytes, sim_ticks *)
+  ts_phys_sent : int array; (* per party *)
+  ts_phys_received : int array;
+  ts_retrans_by_src : int array;
+  ts_env_by_src : int array;
+  ts_link_msgs : int array array;
+  ts_link_bytes : int array array;
+  ts_link_retrans : int array array;
+  ts_fault_draws : int array array; (* fault-plan draws consumed, per link *)
+  ts_digest : Bytes.t; (* chained transcript digest, 32 bytes *)
+  ts_step : string; (* current protocol step *)
+  ts_rounds : (string * (int * int * int) list) list;
+      (* closed physical rounds, oldest first; messages as (src, dst, bytes) *)
+  ts_round : (int * int * int) list; (* current step's messages, oldest first *)
+  ts_limbo : (int * Bytes.t list) list; (* held reorder envelopes, per link key *)
+}
+
+let n_counters = 12
+
+type checkpoint_frame = {
+  ck_step : int; (* number of completed protocol steps *)
+  ck_n : int; (* party count *)
+  ck_bytes_total : int; (* logical accounting at checkpoint time *)
+  ck_msg_total : int;
+  ck_sent : int array; (* logical payload bytes out, per party *)
+  ck_received : int array;
+  ck_enc : Bytes.t array; (* encrypted-bit announcements (empty until step 2) *)
+  ck_v : Bytes.t array; (* current ring vector (empty until step 3) *)
+  ck_snap : transport_snap;
+}
+
+let encode_checkpoint (c : checkpoint_frame) =
+  let b = W.create () in
+  let vec v =
+    W.u16 b (Array.length v);
+    Array.iter (fun x -> W.u32 b x) v
+  in
+  let mat m = Array.iter vec m in
+  let str s =
+    W.u16 b (String.length s);
+    Buffer.add_string b s
+  in
+  let msgs ms =
+    W.u32 b (List.length ms);
+    List.iter
+      (fun (src, dst, bytes) ->
+        W.u16 b src;
+        W.u16 b dst;
+        W.u32 b bytes)
+      ms
+  in
+  let blobs a =
+    W.u16 b (Array.length a);
+    Array.iter (W.blob b) a
+  in
+  W.u8 b tag_checkpoint;
+  W.u16 b c.ck_step;
+  W.u16 b c.ck_n;
+  W.u32 b c.ck_bytes_total;
+  W.u32 b c.ck_msg_total;
+  vec c.ck_sent;
+  vec c.ck_received;
+  blobs c.ck_enc;
+  blobs c.ck_v;
+  let s = c.ck_snap in
+  W.u16 b s.ts_n;
+  mat s.ts_send_seq;
+  mat s.ts_recv_seq;
+  vec s.ts_counters;
+  vec s.ts_phys_sent;
+  vec s.ts_phys_received;
+  vec s.ts_retrans_by_src;
+  vec s.ts_env_by_src;
+  mat s.ts_link_msgs;
+  mat s.ts_link_bytes;
+  mat s.ts_link_retrans;
+  mat s.ts_fault_draws;
+  W.blob b s.ts_digest;
+  str s.ts_step;
+  W.u16 b (List.length s.ts_rounds);
+  List.iter
+    (fun (name, ms) ->
+      str name;
+      msgs ms)
+    s.ts_rounds;
+  msgs s.ts_round;
+  W.u16 b (List.length s.ts_limbo);
+  List.iter
+    (fun (key, held) ->
+      W.u32 b key;
+      W.u16 b (List.length held);
+      List.iter (W.blob b) held)
+    s.ts_limbo;
+  append_crc (W.contents b)
+
+let decode_checkpoint data =
+  let r = check_crc ~what:"checkpoint" ~min_len:18 data in
+  if R.u8 r <> tag_checkpoint then fail "bad tag for checkpoint";
+  let remaining () = Bytes.length r.R.data - r.R.pos in
+  (* Every count sizes an allocation: bound it by the bytes actually
+     present before any Array.init, so a lying count is a typed decode
+     error rather than a giant allocation (the hop-frame lesson). *)
+  let vec () =
+    let k = R.u16 r in
+    if 4 * k > remaining () then
+      fail "checkpoint vector count %d exceeds remaining %d bytes" k (remaining ());
+    Array.init k (fun _ -> R.u32 r)
+  in
+  let vec_exact what k =
+    let v = vec () in
+    if Array.length v <> k then
+      fail "checkpoint %s length %d, expected %d" what (Array.length v) k;
+    v
+  in
+  let mat what n = Array.init n (fun _ -> vec_exact what n) in
+  let str () =
+    let k = R.u16 r in
+    R.ensure r k;
+    let s = Bytes.sub_string r.R.data r.R.pos k in
+    r.R.pos <- r.R.pos + k;
+    s
+  in
+  let msgs () =
+    let k = R.u32 r in
+    if 8 * k > remaining () then
+      fail "checkpoint round count %d exceeds remaining %d bytes" k (remaining ());
+    List.init k (fun _ ->
+        let src = R.u16 r in
+        let dst = R.u16 r in
+        let bytes = R.u32 r in
+        (src, dst, bytes))
+  in
+  let blob_checked () =
+    let len = R.u32 r in
+    if len > remaining () then
+      fail "checkpoint blob length %d exceeds remaining %d bytes" len (remaining ());
+    let b = Bytes.sub r.R.data r.R.pos len in
+    r.R.pos <- r.R.pos + len;
+    b
+  in
+  let blobs () =
+    let k = R.u16 r in
+    if 4 * k > remaining () then
+      fail "checkpoint blob count %d exceeds remaining %d bytes" k (remaining ());
+    Array.init k (fun _ -> blob_checked ())
+  in
+  let ck_step = R.u16 r in
+  let ck_n = R.u16 r in
+  if ck_n = 0 then fail "checkpoint with zero parties";
+  let ck_bytes_total = R.u32 r in
+  let ck_msg_total = R.u32 r in
+  let ck_sent = vec_exact "sent" ck_n in
+  let ck_received = vec_exact "received" ck_n in
+  let ck_enc = blobs () in
+  let ck_v = blobs () in
+  let ts_n = R.u16 r in
+  if ts_n <> ck_n then fail "checkpoint party count %d / snapshot %d mismatch" ck_n ts_n;
+  let ts_send_seq = mat "send_seq" ts_n in
+  let ts_recv_seq = mat "recv_seq" ts_n in
+  let ts_counters = vec_exact "counters" n_counters in
+  let ts_phys_sent = vec_exact "phys_sent" ts_n in
+  let ts_phys_received = vec_exact "phys_received" ts_n in
+  let ts_retrans_by_src = vec_exact "retrans_by_src" ts_n in
+  let ts_env_by_src = vec_exact "env_by_src" ts_n in
+  let ts_link_msgs = mat "link_msgs" ts_n in
+  let ts_link_bytes = mat "link_bytes" ts_n in
+  let ts_link_retrans = mat "link_retrans" ts_n in
+  let ts_fault_draws = mat "fault_draws" ts_n in
+  let ts_digest = blob_checked () in
+  if Bytes.length ts_digest <> 32 then
+    fail "checkpoint digest is %d bytes, expected 32" (Bytes.length ts_digest);
+  let ts_step = str () in
+  let nrounds = R.u16 r in
+  let ts_rounds =
+    List.init nrounds (fun _ ->
+        let name = str () in
+        let ms = msgs () in
+        (name, ms))
+  in
+  let ts_round = msgs () in
+  let nlimbo = R.u16 r in
+  let ts_limbo =
+    List.init nlimbo (fun _ ->
+        let key = R.u32 r in
+        if key >= ts_n * ts_n then fail "checkpoint limbo key %d out of range" key;
+        let k = R.u16 r in
+        if 4 * k > remaining () then
+          fail "checkpoint limbo count %d exceeds remaining %d bytes" k (remaining ());
+        let held = List.init k (fun _ -> blob_checked ()) in
+        (key, held))
+  in
+  R.expect_end r;
+  {
+    ck_step;
+    ck_n;
+    ck_bytes_total;
+    ck_msg_total;
+    ck_sent;
+    ck_received;
+    ck_enc;
+    ck_v;
+    ck_snap =
+      {
+        ts_n;
+        ts_send_seq;
+        ts_recv_seq;
+        ts_counters;
+        ts_phys_sent;
+        ts_phys_received;
+        ts_retrans_by_src;
+        ts_env_by_src;
+        ts_link_msgs;
+        ts_link_bytes;
+        ts_link_retrans;
+        ts_fault_draws;
+        ts_digest;
+        ts_step;
+        ts_rounds;
+        ts_round;
+        ts_limbo;
+      };
+  }
 
 let encode_vec b (v : Bigint.t array) =
   W.u16 b (Array.length v);

@@ -209,6 +209,222 @@ module Conformance (G : Group_intf.GROUP) = struct
   let cases = scenario_cases @ determinism_cases @ jobs_cases
 end
 
+(* ---- Windowed transport: the pipelined engine under the same chaos ---- *)
+
+module Windowed (G : Group_intf.GROUP) = struct
+  module RT = Runtime.Make (G)
+
+  type outcome =
+    | Completed of RT.stats
+    | Aborted of Transport.forensics
+
+  let run_spec ?window spec =
+    let rng = Rng.create ~seed:"chaos-protocol" in
+    match RT.run ?window ~faults:spec ~retry_budget rng ~l ~betas with
+    | st -> Completed st
+    | exception Transport.Party_dropped f -> Aborted f
+
+  let digest_of = function
+    | Completed st -> st.RT.transcript_sha
+    | Aborted f -> f.Transport.fr_digest
+
+  let winspec w = Transport.winspec_of_string (Printf.sprintf "window=%d,rto=4" w)
+
+  (* Scenarios that stress the window: loss, reordering and latency. *)
+  let windowed_scenarios =
+    [
+      "calm-baseline";
+      "drop-moderate";
+      "reorder-heavy";
+      "delay-moderate";
+      "delay-heavy";
+      "drop-delay";
+      "loss-trio";
+      "all-faults-moderate";
+    ]
+
+  (* window=1 must BE stop-and-wait: not just the same answer, the same
+     transcript, meters and per-link tiling, byte for byte. *)
+  let window_one_cases =
+    List.map
+      (fun name ->
+        let spec_str = List.assoc name scenarios in
+        Alcotest.test_case (name ^ ": window=1 = stop-and-wait") `Quick
+          (fun () ->
+            let spec = Faultplan.spec_of_string spec_str in
+            let sync = run_spec spec in
+            let w1 = run_spec ~window:(winspec 1) spec in
+            Alcotest.(check string) "transcript digest" (digest_of sync)
+              (digest_of w1);
+            match (sync, w1) with
+            | Completed a, Completed b ->
+                Alcotest.(check (array int)) "ranks" a.RT.ranks b.RT.ranks;
+                Alcotest.(check int) "phys_messages" a.RT.phys_messages
+                  b.RT.phys_messages;
+                Alcotest.(check int) "phys_bytes" a.RT.phys_bytes
+                  b.RT.phys_bytes;
+                Alcotest.(check int) "retransmits" a.RT.retransmits
+                  b.RT.retransmits;
+                Alcotest.(check int) "sim_ticks" a.RT.sim_ticks b.RT.sim_ticks;
+                Alcotest.(check int) "no acks at window=1" 0 b.RT.acks_sent;
+                Alcotest.(check bool) "links" true (a.RT.links = b.RT.links)
+            | Aborted a, Aborted b ->
+                Alcotest.(check string) "abort step" a.Transport.fr_step
+                  b.Transport.fr_step;
+                Alcotest.(check int) "abort attempts" a.Transport.fr_attempts
+                  b.Transport.fr_attempts
+            | _ -> Alcotest.fail "outcome kind differs at window=1"))
+      windowed_scenarios
+
+  (* Pipelined windows: every protocol step posts at most one message
+     per directed link and the flush order matches the stop-and-wait
+     send order, so the physical transcript is window-invariant — the
+     window only buys wall-clock overlap.  Check exactly that, plus the
+     recovery invariants under chaos. *)
+  let check_windowed name sync = function
+    | Completed st ->
+        Alcotest.(check (array int)) (name ^ ": ranks golden") golden st.RT.ranks;
+        Alcotest.(check string)
+          (name ^ ": transcript is window-invariant")
+          (digest_of sync) st.RT.transcript_sha;
+        let kind k = List.assoc k st.RT.faults_injected in
+        Alcotest.(check int)
+          (name ^ ": corruptions all CRC-rejected")
+          (kind "corrupt") st.RT.crc_rejects;
+        Alcotest.(check int)
+          (name ^ ": timeouts all retransmitted")
+          (kind "drop" + kind "corrupt" + kind "reorder")
+          st.RT.retransmits;
+        (* Per-link tiling still covers the physical totals exactly. *)
+        let msgs, bytes, retrans =
+          List.fold_left
+            (fun (m, b, r) lk ->
+              ( m + lk.Transport.lk_msgs,
+                b + lk.Transport.lk_bytes,
+                r + lk.Transport.lk_retrans ))
+            (0, 0, 0) st.RT.links
+        in
+        Alcotest.(check int) (name ^ ": links tile phys messages")
+          st.RT.phys_messages msgs;
+        Alcotest.(check int) (name ^ ": links tile phys bytes")
+          st.RT.phys_bytes bytes;
+        Alcotest.(check int) (name ^ ": links tile retransmits")
+          st.RT.retransmits retrans;
+        (* The control plane actually ran: one cumulative ack per
+           accepted delivery, none of it on the transcript. *)
+        Alcotest.(check bool) (name ^ ": acks flowed") true
+          (st.RT.acks_sent > 0);
+        Alcotest.(check int)
+          (name ^ ": ack bytes are framed acks")
+          (st.RT.acks_sent * Wire.ack_overhead)
+          st.RT.ack_bytes;
+        (match sync with
+        | Completed ss ->
+            Alcotest.(check bool)
+              (name ^ ": pipelining never slower than stop-and-wait")
+              true
+              (st.RT.sim_ticks <= ss.RT.sim_ticks)
+        | Aborted _ -> ())
+    | Aborted f ->
+        (match sync with
+        | Aborted sf ->
+            Alcotest.(check string)
+              (name ^ ": abort digest is window-invariant")
+              sf.Transport.fr_digest f.Transport.fr_digest
+        | Completed _ -> Alcotest.fail (name ^ ": windowed run aborted where stop-and-wait completed"));
+        Alcotest.(check int)
+          (name ^ ": abort after full budget")
+          (retry_budget + 1) f.Transport.fr_attempts
+
+  let windowed_cases =
+    List.concat_map
+      (fun name ->
+        let spec_str = List.assoc name scenarios in
+        List.map
+          (fun w ->
+            Alcotest.test_case
+              (Printf.sprintf "%s: window=%d" name w)
+              `Quick
+              (fun () ->
+                let spec = Faultplan.spec_of_string spec_str in
+                let sync = run_spec spec in
+                check_windowed name sync (run_spec ~window:(winspec w) spec)))
+          [ 4; 16 ])
+      windowed_scenarios
+
+  (* Latency is where the window pays: under the delay-heavy plan the
+     pipelined engine must finish strictly earlier on the link clock. *)
+  let pipelining_wins_case =
+    Alcotest.test_case "delay-heavy: window=16 strictly faster" `Quick
+      (fun () ->
+        let spec =
+          Faultplan.spec_of_string (List.assoc "delay-heavy" scenarios)
+        in
+        match (run_spec spec, run_spec ~window:(winspec 16) spec) with
+        | Completed a, Completed b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "sim_ticks %d < %d" b.RT.sim_ticks a.RT.sim_ticks)
+              true
+              (b.RT.sim_ticks < a.RT.sim_ticks)
+        | _ -> Alcotest.fail "delay-only plan must complete")
+
+  (* Same window, same seed, same transcript — at any job count. *)
+  let windowed_jobs_case =
+    Alcotest.test_case "all-faults-moderate: window=4 jobs=1 = jobs=4" `Quick
+      (fun () ->
+        let spec =
+          Faultplan.spec_of_string (List.assoc "all-faults-moderate" scenarios)
+        in
+        let prev = Pool.jobs () in
+        Fun.protect
+          ~finally:(fun () -> Pool.set_jobs prev)
+          (fun () ->
+            Pool.set_jobs 1;
+            let a = run_spec ~window:(winspec 4) spec in
+            Pool.set_jobs 4;
+            let b = run_spec ~window:(winspec 4) spec in
+            Alcotest.(check string) "transcript digest" (digest_of a)
+              (digest_of b)))
+
+  let cases =
+    window_one_cases @ windowed_cases
+    @ [ pipelining_wins_case; windowed_jobs_case ]
+end
+
+(* Group-independent window-spec grammar behaviour. *)
+let winspec_tests =
+  [
+    Alcotest.test_case "winspec parses and round-trips" `Quick (fun () ->
+        let s = Transport.winspec_of_string "window=8,rto=6,link-1-2=16" in
+        Alcotest.(check string)
+          "round trip"
+          (Transport.winspec_to_string s)
+          (Transport.winspec_to_string
+             (Transport.winspec_of_string (Transport.winspec_to_string s))));
+    Alcotest.test_case "per-link override beats the default" `Quick (fun () ->
+        let s = Transport.winspec_of_string "window=4,link-0-2=16" in
+        Alcotest.(check int) "override" 16
+          (Transport.winspec_window s ~src:0 ~dst:2);
+        Alcotest.(check int) "reverse direction unaffected" 4
+          (Transport.winspec_window s ~src:2 ~dst:0);
+        Alcotest.(check int) "other links default" 4
+          (Transport.winspec_window s ~src:1 ~dst:3));
+    Alcotest.test_case "bad winspecs rejected" `Quick (fun () ->
+        let bad s =
+          try
+            ignore (Transport.winspec_of_string s);
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "unknown key" true (bad "frob=1");
+        Alcotest.(check bool) "zero window" true (bad "window=0");
+        Alcotest.(check bool) "window above cap" true
+          (bad (Printf.sprintf "window=%d" (Transport.max_window + 1)));
+        Alcotest.(check bool) "zero rto" true (bad "rto=0");
+        Alcotest.(check bool) "malformed link key" true (bad "link-0=4");
+        Alcotest.(check bool) "no equals sign" true (bad "window"));
+  ]
+
 (* ---- Flight recorder: the per-party ring of recent wire events ---- *)
 
 module Flightrec = Ppgr_obs.Flightrec
@@ -405,6 +621,8 @@ module G_dl = (val Dl_group.dl_512 () : Group_intf.GROUP)
 module G_ec = (val Ec_group.ecc_160 () : Group_intf.GROUP)
 module Dl = Conformance (G_dl)
 module Ec = Conformance (G_ec)
+module Win_dl = Windowed (G_dl)
+module Win_ec = Windowed (G_ec)
 module G_small = (val Dl_group.dl_test_64 () : Group_intf.GROUP)
 module Fl = Flight (G_small)
 
@@ -412,7 +630,10 @@ let () =
   Alcotest.run "chaos"
     [
       ("faultplan", faultplan_tests);
+      ("winspec", winspec_tests);
       ("dl-512", Dl.cases);
       ("ecc-160", Ec.cases);
+      ("windowed-dl-512", Win_dl.cases);
+      ("windowed-ecc-160", Win_ec.cases);
       ("flightrec", Fl.cases);
     ]

@@ -184,6 +184,43 @@ let group_message_tests (name, g) =
            with Wire.Malformed _ -> true));
   ]
 
+(* A rich checkpoint exemplar: 2-party snapshot with closed rounds, an
+   in-progress round and a held reorder-limbo envelope, so the fuzz and
+   regression batteries cover every section of the frame. *)
+let exemplar_snap () =
+  {
+    Wire.ts_n = 2;
+    ts_send_seq = [| [| 3; 1 |]; [| 0; 2 |] |];
+    ts_recv_seq = [| [| 3; 2 |]; [| 1; 2 |] |];
+    ts_counters = [| 4; 1; 1; 2; 0; 3; 9; 40; 2600; 12; 204; 55 |];
+    ts_phys_sent = [| 1300; 1300 |];
+    ts_phys_received = [| 1290; 1310 |];
+    ts_retrans_by_src = [| 3; 1 |];
+    ts_env_by_src = [| 20; 20 |];
+    ts_link_msgs = [| [| 0; 20 |]; [| 20; 0 |] |];
+    ts_link_bytes = [| [| 0; 1300 |]; [| 1300; 0 |] |];
+    ts_link_retrans = [| [| 0; 3 |]; [| 1; 0 |] |];
+    ts_fault_draws = [| [| 0; 22 |]; [| 21; 0 |] |];
+    ts_digest = Bytes.init 32 (fun i -> Char.chr (i * 5 land 0xFF));
+    ts_step = "encrypt";
+    ts_rounds = [ ("announce", [ (0, 1, 120); (1, 0, 120) ]) ];
+    ts_round = [ (0, 1, 64) ];
+    ts_limbo = [ (1, [ Bytes.of_string "held-envelope" ]) ];
+  }
+
+let exemplar_checkpoint () =
+  {
+    Wire.ck_step = 2;
+    ck_n = 2;
+    ck_bytes_total = 1234;
+    ck_msg_total = 7;
+    ck_sent = [| 600; 634 |];
+    ck_received = [| 634; 600 |];
+    ck_enc = [| Bytes.of_string "enc-a"; Bytes.of_string "enc-b" |];
+    ck_v = [||];
+    ck_snap = exemplar_snap ();
+  }
+
 (* Fuzzing the full codec surface: one exemplar message per tag, then
    truncations, single-bit flips and random garbage against its decoder.
    A decoder may refuse (Wire.Malformed) or decode the damage to a
@@ -211,6 +248,7 @@ let fuzz_tests =
       [| W.encode_cipher_batch batch; Bytes.of_string "opaque"; Bytes.empty |]
     in
     let envelope_payload = W.encode_pubkey y in
+    let ack = { Wire.ack_src = 2; ack_dst = 0; ack_cum = 41; ack_sack = 0b101 } in
     [
       ( "dot-round1 (0x01)",
         Wire.encode_dot_round1 dot1,
@@ -236,6 +274,12 @@ let fuzz_tests =
           let e = Wire.decode_envelope b in
           Wire.encode_envelope ~src:e.Wire.env_src ~dst:e.Wire.env_dst
             ~seq:e.Wire.env_seq e.Wire.env_payload );
+      ( "ack (0x15)",
+        Wire.encode_ack ack,
+        fun b -> Wire.encode_ack (Wire.decode_ack b) );
+      ( "checkpoint (0x16)",
+        Wire.encode_checkpoint (exemplar_checkpoint ()),
+        fun b -> Wire.encode_checkpoint (Wire.decode_checkpoint b) );
       ( "submission (0x20)",
         Wire.encode_submission submission,
         fun b -> Wire.encode_submission (Wire.decode_submission b) );
@@ -339,12 +383,200 @@ let fuzz_tests =
              with Wire.Malformed _ -> true));
     ]
 
+(* The transport control plane and checkpoint/restart frames.  Both ride
+   the CRC-32 trailer, so random damage is CRC-rejected; the interesting
+   paths are the post-CRC validations, reached by re-sealing a tampered
+   body with a fresh CRC. *)
+let ack_checkpoint_tests =
+  let rejects what thunk =
+    Alcotest.(check bool) what true
+      (try
+         ignore (thunk ());
+         false
+       with Wire.Malformed _ -> true)
+  in
+  let reseal data =
+    let out = Bytes.copy data in
+    let total = Bytes.length out in
+    let crc = Wire.crc32 ~pos:0 ~len:(total - 4) out in
+    Bytes.set out (total - 4) (Char.chr ((crc lsr 24) land 0xFF));
+    Bytes.set out (total - 3) (Char.chr ((crc lsr 16) land 0xFF));
+    Bytes.set out (total - 2) (Char.chr ((crc lsr 8) land 0xFF));
+    Bytes.set out (total - 1) (Char.chr (crc land 0xFF));
+    out
+  in
+  let flip_bit data i =
+    let out = Bytes.copy data in
+    let byte = i / 8 and bit = i mod 8 in
+    Bytes.set out byte
+      (Char.chr (Char.code (Bytes.get out byte) lxor (1 lsl bit)));
+    out
+  in
+  [
+    Alcotest.test_case "ack round trip, documented size" `Quick (fun () ->
+        let a = { Wire.ack_src = 3; ack_dst = 1; ack_cum = 1000; ack_sack = 5 } in
+        let data = Wire.encode_ack a in
+        Alcotest.(check int) "ack_overhead" Wire.ack_overhead
+          (Bytes.length data);
+        let a' = Wire.decode_ack data in
+        Alcotest.(check int) "src" a.Wire.ack_src a'.Wire.ack_src;
+        Alcotest.(check int) "dst" a.Wire.ack_dst a'.Wire.ack_dst;
+        Alcotest.(check int) "cum" a.Wire.ack_cum a'.Wire.ack_cum;
+        Alcotest.(check int) "sack" a.Wire.ack_sack a'.Wire.ack_sack);
+    Alcotest.test_case "ack: every single-bit flip CRC-rejected" `Quick
+      (fun () ->
+        let data =
+          Wire.encode_ack
+            { Wire.ack_src = 0; ack_dst = 2; ack_cum = 7; ack_sack = 0b11 }
+        in
+        for i = 0 to (8 * Bytes.length data) - 1 do
+          rejects
+            (Printf.sprintf "bit %d" i)
+            (fun () -> Wire.decode_ack (flip_bit data i))
+        done);
+    Alcotest.test_case "ack: resealed trailing byte rejected" `Quick (fun () ->
+        let data =
+          Wire.encode_ack
+            { Wire.ack_src = 1; ack_dst = 0; ack_cum = 3; ack_sack = 0 }
+        in
+        (* Valid CRC over a too-long body must still be refused. *)
+        let padded = Bytes.cat data (Bytes.make 1 '\x00') in
+        rejects "trailing byte" (fun () -> Wire.decode_ack (reseal padded)));
+    Alcotest.test_case "checkpoint round trip preserves every section"
+      `Quick (fun () ->
+        let c = exemplar_checkpoint () in
+        let c' = Wire.decode_checkpoint (Wire.encode_checkpoint c) in
+        Alcotest.(check int) "step" c.Wire.ck_step c'.Wire.ck_step;
+        Alcotest.(check int) "n" c.Wire.ck_n c'.Wire.ck_n;
+        Alcotest.(check int) "bytes_total" c.Wire.ck_bytes_total
+          c'.Wire.ck_bytes_total;
+        Alcotest.(check int) "msg_total" c.Wire.ck_msg_total
+          c'.Wire.ck_msg_total;
+        Alcotest.(check (array int)) "sent" c.Wire.ck_sent c'.Wire.ck_sent;
+        Alcotest.(check (array int)) "received" c.Wire.ck_received
+          c'.Wire.ck_received;
+        Alcotest.(check bool) "enc blobs" true (c.Wire.ck_enc = c'.Wire.ck_enc);
+        Alcotest.(check bool) "v blobs" true (c.Wire.ck_v = c'.Wire.ck_v);
+        let s = c.Wire.ck_snap and s' = c'.Wire.ck_snap in
+        Alcotest.(check int) "snap n" s.Wire.ts_n s'.Wire.ts_n;
+        Alcotest.(check (array int)) "counters" s.Wire.ts_counters
+          s'.Wire.ts_counters;
+        Alcotest.(check bytes) "digest" s.Wire.ts_digest s'.Wire.ts_digest;
+        Alcotest.(check string) "step name" s.Wire.ts_step s'.Wire.ts_step;
+        Alcotest.(check bool) "send_seq" true
+          (s.Wire.ts_send_seq = s'.Wire.ts_send_seq);
+        Alcotest.(check bool) "fault draws" true
+          (s.Wire.ts_fault_draws = s'.Wire.ts_fault_draws);
+        Alcotest.(check bool) "rounds" true (s.Wire.ts_rounds = s'.Wire.ts_rounds);
+        Alcotest.(check bool) "in-progress round" true
+          (s.Wire.ts_round = s'.Wire.ts_round);
+        Alcotest.(check bool) "limbo" true (s.Wire.ts_limbo = s'.Wire.ts_limbo));
+    Alcotest.test_case "checkpoint: every single-bit flip CRC-rejected"
+      `Quick (fun () ->
+        let data = Wire.encode_checkpoint (exemplar_checkpoint ()) in
+        for i = 0 to (8 * Bytes.length data) - 1 do
+          rejects
+            (Printf.sprintf "bit %d" i)
+            (fun () -> Wire.decode_checkpoint (flip_bit data i))
+        done);
+    Alcotest.test_case "zero-party checkpoint rejected" `Quick (fun () ->
+        let c =
+          {
+            Wire.ck_step = 0;
+            ck_n = 0;
+            ck_bytes_total = 0;
+            ck_msg_total = 0;
+            ck_sent = [||];
+            ck_received = [||];
+            ck_enc = [||];
+            ck_v = [||];
+            ck_snap =
+              {
+                (exemplar_snap ()) with
+                Wire.ts_n = 0;
+                ts_send_seq = [||];
+                ts_recv_seq = [||];
+                ts_phys_sent = [||];
+                ts_phys_received = [||];
+                ts_retrans_by_src = [||];
+                ts_env_by_src = [||];
+                ts_link_msgs = [||];
+                ts_link_bytes = [||];
+                ts_link_retrans = [||];
+                ts_fault_draws = [||];
+                ts_limbo = [];
+              };
+          }
+        in
+        rejects "zero parties" (fun () ->
+            Wire.decode_checkpoint (Wire.encode_checkpoint c)));
+    Alcotest.test_case "checkpoint counter vector of wrong length rejected"
+      `Quick (fun () ->
+        let c =
+          {
+            (exemplar_checkpoint ()) with
+            Wire.ck_snap =
+              { (exemplar_snap ()) with Wire.ts_counters = Array.make 5 0 };
+          }
+        in
+        rejects "5 counters" (fun () ->
+            Wire.decode_checkpoint (Wire.encode_checkpoint c)));
+    Alcotest.test_case "checkpoint with short digest rejected" `Quick
+      (fun () ->
+        let c =
+          {
+            (exemplar_checkpoint ()) with
+            Wire.ck_snap =
+              { (exemplar_snap ()) with Wire.ts_digest = Bytes.make 16 'x' };
+          }
+        in
+        rejects "16-byte digest" (fun () ->
+            Wire.decode_checkpoint (Wire.encode_checkpoint c)));
+    Alcotest.test_case "checkpoint party count / snapshot mismatch rejected"
+      `Quick (fun () ->
+        let c = { (exemplar_checkpoint ()) with Wire.ck_n = 3 } in
+        (* ck_sent must also claim 3 parties to reach the snap check. *)
+        let c =
+          { c with Wire.ck_sent = [| 1; 2; 3 |]; ck_received = [| 3; 2; 1 |] }
+        in
+        rejects "ck_n=3 over a 2-party snap" (fun () ->
+            Wire.decode_checkpoint (Wire.encode_checkpoint c)));
+    Alcotest.test_case
+      "checkpoint vector count past end of buffer rejected (resealed)"
+      `Quick (fun () ->
+        let data = Wire.encode_checkpoint (exemplar_checkpoint ()) in
+        (* Inflate ck_sent's u16 count (offset 13 after tag, step, n,
+           bytes_total, msg_total) and re-seal the CRC: the count must
+           be refused by arithmetic against the remaining bytes, not by
+           attempting the allocation — the decode_hop_frame lesson. *)
+        Bytes.set data 13 '\xFF';
+        Bytes.set data 14 '\xFF';
+        rejects "count 65535" (fun () ->
+            Wire.decode_checkpoint (reseal data)));
+    Alcotest.test_case "checkpoint limbo key out of range rejected" `Quick
+      (fun () ->
+        let c =
+          {
+            (exemplar_checkpoint ()) with
+            Wire.ck_snap =
+              {
+                (exemplar_snap ()) with
+                Wire.ts_limbo = [ (9, [ Bytes.of_string "stray" ]) ];
+              };
+          }
+        in
+        (* Link key 9 on a 2-party snapshot (keys live in [0, 4)). *)
+        rejects "limbo key 9" (fun () ->
+            Wire.decode_checkpoint (Wire.encode_checkpoint c)));
+  ]
+
 let () =
   Alcotest.run "wire"
     [
       ("field-messages", field_message_tests);
       ("hop-frame", hop_frame_tests);
       ("fuzz", fuzz_tests);
+      ("ack-checkpoint", ack_checkpoint_tests);
       ("dl", group_message_tests ("DL", Ppgr_group.Dl_group.dl_test_64 ()));
       ("ec", group_message_tests ("EC", Ppgr_group.Ec_group.ecc_tiny ()));
       ("ecc-160", group_message_tests ("ECC-160", Ppgr_group.Ec_group.ecc_160 ()));
